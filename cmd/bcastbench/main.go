@@ -1,0 +1,74 @@
+// Command bcastbench is the user-level micro-benchmark of the paper's
+// Section V, run on the real in-process engine: all ranks synchronize
+// with a barrier, the broadcast repeats for a fixed iteration count, and
+// the bandwidth (base-2 MB/s) is reported per message size.
+//
+// Usage:
+//
+//	bcastbench -np 16 -algo native -min 524288 -max 4194304
+//	bcastbench -np 10 -algo opt -iters 100
+//	bcastbench -np 12 -cores 4 -algo smp-opt      # multi-node placement
+//
+// Comparing -algo native against -algo opt reproduces the paper's
+// MPI_Bcast_native / MPI_Bcast_opt comparison at laptop scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		npFlag    = flag.Int("np", 8, "number of ranks")
+		algoFlag  = flag.String("algo", "opt", "broadcast: native|opt|binomial|auto|auto-opt|smp|smp-opt")
+		minFlag   = flag.Int("min", 16<<10, "smallest message size in bytes")
+		maxFlag   = flag.Int("max", 4<<20, "largest message size in bytes")
+		itersFlag = flag.Int("iters", 100, "broadcast iterations per size (paper: 100)")
+		coresFlag = flag.Int("cores", 0, "cores per node for blocked placement (0 = single node)")
+		eagerFlag = flag.Int("eager", 0, "eager limit override in bytes (0 = default, -1 = rendezvous only)")
+		rootFlag  = flag.Int("root", 0, "broadcast root")
+	)
+	flag.Parse()
+
+	variant, err := bench.ParseVariant(*algoFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bcastbench:", err)
+		os.Exit(2)
+	}
+	if *npFlag <= 0 || *minFlag < 0 || *maxFlag < *minFlag {
+		fmt.Fprintln(os.Stderr, "bcastbench: bad np/min/max")
+		os.Exit(2)
+	}
+	// Guard against accidental monster allocations: every rank holds one
+	// buffer of -max bytes.
+	if total := *npFlag * *maxFlag; total > 4<<30 {
+		fmt.Fprintf(os.Stderr, "bcastbench: np*max = %d bytes exceeds 4 GiB; scale down\n", total)
+		os.Exit(2)
+	}
+
+	cfg := bench.RealConfig{
+		NP:           *npFlag,
+		CoresPerNode: *coresFlag,
+		EagerLimit:   *eagerFlag,
+		Iterations:   *itersFlag,
+		Root:         *rootFlag,
+		Variant:      variant,
+	}
+	fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d\n", variant, *npFlag, *itersFlag)
+	fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
+	for n := *minFlag; n <= *maxFlag; n *= 2 {
+		res, err := bench.MeasureReal(cfg, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcastbench: size %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12d %14.2f %14.2f\n", n, res.Seconds*1e6, res.MBps)
+		if n == 0 {
+			break
+		}
+	}
+}

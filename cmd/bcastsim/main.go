@@ -1,0 +1,108 @@
+// Command bcastsim regenerates the paper's evaluation figures on the
+// modelled cluster (internal/netsim): bandwidth curves for Figures
+// 6(a)-(c) and 8, the throughput-speedup series of Figure 7, and the
+// Section IV transfer-count table.
+//
+// Usage:
+//
+//	bcastsim -fig all                 # every figure, Hornet model
+//	bcastsim -fig 6b                  # one figure
+//	bcastsim -fig 7 -model laki       # the NEC calibration
+//	bcastsim -fig 6a -nocontention    # ablation: no NIC/memory queueing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		figFlag      = flag.String("fig", "all", "figure to regenerate: 6a|6b|6c|7|8|counts|all")
+		modelFlag    = flag.String("model", "hornet", "cluster model: hornet|laki")
+		coresFlag    = flag.Int("cores", 0, "cores per node (default: model preset)")
+		warmFlag     = flag.Int("warm", 2, "warm-up iterations for steady-state timing")
+		totalFlag    = flag.Int("total", 6, "total iterations for steady-state timing")
+		noContention = flag.Bool("nocontention", false, "ablation: disable NIC/memory contention")
+	)
+	flag.Parse()
+
+	var model *netsim.Model
+	cores := *coresFlag
+	switch *modelFlag {
+	case "hornet":
+		model = netsim.Hornet()
+		if cores == 0 {
+			cores = topology.HornetCoresPerNode
+		}
+	case "laki":
+		model = netsim.Laki()
+		if cores == 0 {
+			cores = topology.LakiCoresPerNode
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bcastsim: unknown model %q\n", *modelFlag)
+		os.Exit(2)
+	}
+	model.NoContention = *noContention
+
+	cfg := bench.SimConfig{Model: model, CoresPerNode: cores, Warm: *warmFlag, Total: *totalFlag}
+
+	run := func(id string) error {
+		switch id {
+		case "6a", "6b", "6c", "8":
+			np := map[string]int{"6a": 16, "6b": 64, "6c": 256, "8": 129}[id]
+			var sizes []int
+			if id == "8" {
+				sizes = bench.Fig8Sizes()
+			}
+			fig, err := bench.Fig6(cfg, np, sizes)
+			if err != nil {
+				return err
+			}
+			if id == "8" {
+				fig.ID, fig.Title = "fig8", "Bandwidth comparison for medium and long messages, np=129"
+			}
+			fmt.Print(bench.FormatFigure(fig))
+			maxGain, peakGain, err := bench.Improvement(fig)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# max gain %.1f%%, peak-bandwidth gain %.1f%%\n\n", maxGain, peakGain)
+		case "7":
+			fig, err := bench.Fig7(cfg, nil, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFigure(fig))
+			fmt.Println()
+		case "counts":
+			fmt.Println("# Section IV transfer counts (ring allgather phase, n = 16 KiB)")
+			// A fixed buffer size keeps the byte columns meaningful for
+			// every P (all chunks non-empty up to P=256).
+			rows := bench.TransferCounts([]int{2, 4, 8, 10, 16, 32, 64, 129, 256}, 64*256)
+			fmt.Print(bench.FormatCounts(rows))
+			fmt.Println()
+		default:
+			return fmt.Errorf("unknown figure %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{"counts", "6a", "6b", "6c", "7", "8"}
+	if *figFlag != "all" {
+		ids = strings.Split(*figFlag, ",")
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "bcastsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

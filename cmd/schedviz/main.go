@@ -1,0 +1,118 @@
+// Command schedviz renders the paper's schematic figures from the actual
+// schedule generators: the binomial scatter tree (Figures 1-2) and the
+// per-step send/receive events of the ring allgather (Figure 3 for the
+// enclosed ring, Figures 4-5 for the tuned non-enclosed ring, where the
+// send-only and receive-only degenerations are visible as missing
+// events).
+//
+// Usage:
+//
+//	schedviz -p 8              # reproduce Figures 1, 3 and 4
+//	schedviz -p 10 -algo tuned # reproduce Figures 2 and 5
+//	schedviz -p 10 -algo native -root 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		pFlag    = flag.Int("p", 8, "number of processes")
+		rootFlag = flag.Int("root", 0, "broadcast root")
+		algoFlag = flag.String("algo", "both", "ring to draw: native|tuned|both")
+	)
+	flag.Parse()
+	p, root := *pFlag, *rootFlag
+	if p < 1 || root < 0 || root >= p {
+		fmt.Fprintln(os.Stderr, "schedviz: bad -p/-root")
+		os.Exit(2)
+	}
+
+	drawScatter(p, root)
+	switch *algoFlag {
+	case "native":
+		drawRing(core.RingAllgatherNative(p, root, p), p, root)
+	case "tuned":
+		drawRing(core.RingAllgatherTuned(p, root, p), p, root)
+	case "both":
+		drawRing(core.RingAllgatherNative(p, root, p), p, root)
+		drawRing(core.RingAllgatherTuned(p, root, p), p, root)
+	default:
+		fmt.Fprintln(os.Stderr, "schedviz: unknown -algo")
+		os.Exit(2)
+	}
+}
+
+// drawScatter prints the binomial scatter tree with each rank's chunk
+// range (one unit byte per chunk, so offsets read as chunk indices).
+func drawScatter(p, root int) {
+	fmt.Printf("binomial scatter tree, P=%d, root=%d (chunks each rank holds afterwards):\n", p, root)
+	for rel := 0; rel < p; rel++ {
+		rank := core.AbsRank(rel, root, p)
+		lo, hi := core.OwnedChunks(rel, p)
+		depth := 0
+		for x := rel; x != 0; x -= x & (-x) {
+			depth++
+		}
+		indent := strings.Repeat("  ", depth)
+		parent := ""
+		if rel != 0 {
+			parent = fmt.Sprintf("  <- from rank %d", core.AbsRank(rel-rel&(-rel), root, p))
+		}
+		fmt.Printf("  %srank %-3d chunks [%d..%d)%s\n", indent, rank, lo, hi, parent)
+	}
+	fmt.Println()
+}
+
+// drawRing prints one line per ring step with each rank's events, like
+// the figures: "s5" = sends chunk 5 to the right, "r3" = receives chunk 3
+// from the left, "." = no event (the tuned ring's saved transfers).
+func drawRing(pr *sched.Program, p, root int) {
+	fmt.Printf("%s, P=%d, root=%d (s<chunk> = send right, r<chunk> = recv left):\n", pr.Name, p, root)
+	fmt.Printf("  %-6s", "step")
+	for r := 0; r < p; r++ {
+		fmt.Printf(" %8s", fmt.Sprintf("rank%d", r))
+	}
+	fmt.Println()
+	// Index ops by (rank, step).
+	byStep := make([]map[int]sched.Op, p)
+	maxStep := 0
+	for r := 0; r < p; r++ {
+		byStep[r] = map[int]sched.Op{}
+		for _, op := range pr.OpsOf(r) {
+			byStep[r][op.Step] = op
+			if op.Step > maxStep {
+				maxStep = op.Step
+			}
+		}
+	}
+	totalMsgs := 0
+	for step := 1; step <= maxStep; step++ {
+		fmt.Printf("  %-6d", step)
+		for r := 0; r < p; r++ {
+			op, ok := byStep[r][step]
+			cell := "."
+			if ok {
+				var parts []string
+				if op.Kind == sched.OpSend || op.Kind == sched.OpSendrecv {
+					parts = append(parts, fmt.Sprintf("s%d", op.SendOff))
+					totalMsgs++
+				}
+				if op.Kind == sched.OpRecv || op.Kind == sched.OpSendrecv {
+					parts = append(parts, fmt.Sprintf("r%d", op.RecvOff))
+				}
+				cell = strings.Join(parts, "/")
+			}
+			fmt.Printf(" %8s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  total ring messages: %d\n\n", totalMsgs)
+}

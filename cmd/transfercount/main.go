@@ -1,0 +1,97 @@
+// Command transfercount tabulates the ring-allgather transfer counts of
+// the native (enclosed) and tuned (non-enclosed) algorithms — the
+// Section IV claims of the paper (P=8: 56 -> 44, P=10: 90 -> 75),
+// generalized over P. With -measure, the counts are additionally
+// verified by executing both broadcasts on the real engine under the
+// traffic tracer and comparing observed message counts against the
+// analytic model.
+//
+// Usage:
+//
+//	transfercount
+//	transfercount -p 8,10,16,129 -n 65536 -measure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		pFlag       = flag.String("p", "2,4,8,10,16,32,64,129,256", "comma-separated process counts")
+		nFlag       = flag.Int("n", 1<<20, "broadcast size in bytes for the byte columns")
+		measureFlag = flag.Bool("measure", false, "verify counts by traced execution on the real engine (P <= 64)")
+	)
+	flag.Parse()
+
+	var ps []int
+	for _, tok := range strings.Split(*pFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "transfercount: bad process count %q\n", tok)
+			os.Exit(2)
+		}
+		ps = append(ps, p)
+	}
+
+	fmt.Printf("# ring allgather transfer counts, n=%d bytes (analytic model)\n", *nFlag)
+	fmt.Print(bench.FormatCounts(bench.TransferCounts(ps, *nFlag)))
+
+	if !*measureFlag {
+		return
+	}
+	fmt.Println("\n# traced execution on the real engine (ring phase only):")
+	fmt.Printf("%-6s %12s %12s %8s\n", "P", "native-msgs", "tuned-msgs", "match")
+	for _, p := range ps {
+		if p > 64 {
+			fmt.Printf("%-6d %12s %12s %8s\n", p, "-", "-", "skipped")
+			continue
+		}
+		nat, err := measureRing(collective.BcastScatterRingAllgather, p, *nFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "transfercount: %v\n", err)
+			os.Exit(1)
+		}
+		opt, err := measureRing(collective.BcastScatterRingAllgatherOpt, p, *nFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "transfercount: %v\n", err)
+			os.Exit(1)
+		}
+		wantNat := core.RingTrafficNative(p, *nFlag).Messages
+		wantOpt := core.RingTrafficTuned(p, *nFlag).Messages
+		match := "OK"
+		if int(nat) != wantNat || int(opt) != wantOpt {
+			match = fmt.Sprintf("MISMATCH (want %d/%d)", wantNat, wantOpt)
+		}
+		fmt.Printf("%-6d %12d %12d %8s\n", p, nat, opt, match)
+	}
+}
+
+func measureRing(algo func(mpi.Comm, []byte, int) error, p, n int) (int64, error) {
+	col := trace.NewCollector()
+	err := engine.Run(p, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		buf := make([]byte, n)
+		if tc.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		return algo(tc, buf, 0)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return col.Stats().ByTag[core.TagRing].Messages, nil
+}

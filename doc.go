@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "A Bandwidth-saving
+// Optimization for MPI Broadcast Collective Operation" (Zhou, Marjanović,
+// Niethammer, Gracia — ICPP 2015, arXiv:1603.06809).
+//
+// The paper tunes MPICH3's scatter-ring-allgather broadcast: the native
+// allgather phase runs an enclosed ring in which every rank re-receives
+// chunks it already holds from the binomial scatter; the tuned ring makes
+// each rank ownership-aware and skips those transfers, saving bandwidth
+// with the same step count.
+//
+// This module contains the complete system: an MPI-like runtime
+// (internal/engine), the broadcast algorithm family and its analytic
+// traffic model (internal/core, internal/collective), a deterministic
+// cluster simulator that regenerates the paper's figures at full scale
+// (internal/netsim), traffic tracing (internal/trace), the measurement
+// harnesses (internal/bench), command-line tools (cmd/...), and runnable
+// examples (examples/...). See README.md for the tour and EXPERIMENTS.md
+// for the paper-versus-measured record.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation section; run them with
+//
+//	go test -bench=. -benchmem .
+package repro

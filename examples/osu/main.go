@@ -1,0 +1,38 @@
+// Osu is an OSU-micro-benchmark-style broadcast bandwidth sweep that
+// compares MPI_Bcast_native and MPI_Bcast_opt side by side on the real
+// engine — the shape (who wins, by how much) mirrors the paper's user-
+// level testing at laptop scale.
+//
+//	go run ./examples/osu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	const (
+		np    = 10 // non-power-of-two, the paper's harder case
+		iters = 50
+	)
+	fmt.Printf("# OSU-style bcast sweep, np=%d, %d iterations per size\n", np, iters)
+	fmt.Printf("%-12s %16s %16s %10s\n", "bytes", "native MB/s", "opt MB/s", "speedup")
+	for n := 16 << 10; n <= 4<<20; n <<= 1 {
+		nat, err := bench.MeasureReal(bench.RealConfig{
+			NP: np, Iterations: iters, Variant: bench.Native,
+		}, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := bench.MeasureReal(bench.RealConfig{
+			NP: np, Iterations: iters, Variant: bench.Opt,
+		}, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d %16.2f %16.2f %9.2fx\n", n, nat.MBps, opt.MBps, opt.MBps/nat.MBps)
+	}
+}

@@ -1,0 +1,43 @@
+// Quickstart: run 8 ranks in-process, broadcast a message from rank 0
+// with the paper's tuned algorithm, and verify every rank received it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collective"
+	"repro/internal/engine"
+	"repro/internal/mpi"
+)
+
+func main() {
+	const np = 8
+	message := []byte("hello from the tuned scatter-ring-allgather broadcast")
+
+	err := engine.Run(np, func(c mpi.Comm) error {
+		buf := make([]byte, len(message))
+		if c.Rank() == 0 {
+			copy(buf, message)
+		}
+
+		// BcastOpt dispatches like MPICH3 and uses the paper's
+		// non-enclosed ring on the long-message / medium-npof2 paths;
+		// at this tiny size it picks the binomial tree. Call the tuned
+		// ring directly to see the paper's algorithm itself.
+		if err := collective.BcastScatterRingAllgatherOpt(c, buf, 0); err != nil {
+			return err
+		}
+
+		if string(buf) != string(message) {
+			return fmt.Errorf("rank %d: corrupted broadcast: %q", c.Rank(), buf)
+		}
+		fmt.Printf("rank %d received: %s\n", c.Rank(), buf)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

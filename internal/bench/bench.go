@@ -1,0 +1,274 @@
+// Package bench implements the paper's measurement protocol and the
+// parameter sweeps behind every figure of the evaluation section.
+//
+// Two harnesses share the same reporting types:
+//
+//   - the real harness runs the executable collectives on the in-process
+//     engine and reports wall-clock bandwidth, reproducing the paper's
+//     user-level testing (barrier, then a loop of broadcasts, bandwidth =
+//     message size over mean iteration time, in base-2 MB/s);
+//   - the simulated harness replays the algorithms' schedules on the
+//     netsim cluster model at full paper scale (up to 256 ranks and 32 MB
+//     messages), regenerating the series of Figures 6(a-c), 7 and 8.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mpi"
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// MiB is 2^20 bytes; the paper uses megabytes "in the base-2 sense".
+const MiB = 1 << 20
+
+// Result is one measured point.
+type Result struct {
+	// Bytes is the broadcast message size.
+	Bytes int
+	// Seconds is the time per broadcast iteration.
+	Seconds float64
+	// MBps is Bytes/Seconds in base-2 MB/s.
+	MBps float64
+}
+
+func newResult(bytes int, seconds float64) Result {
+	r := Result{Bytes: bytes, Seconds: seconds}
+	if seconds > 0 {
+		r.MBps = float64(bytes) / seconds / MiB
+	}
+	return r
+}
+
+// Variant selects the broadcast implementation under test.
+type Variant int
+
+// Broadcast variants measured by the harnesses.
+const (
+	// Native is MPI_Bcast_native: binomial scatter + enclosed ring.
+	Native Variant = iota
+	// Opt is MPI_Bcast_opt: binomial scatter + tuned non-enclosed ring.
+	Opt
+	// Binomial is the short-message whole-buffer tree.
+	Binomial
+	// AutoNative is MPICH3's dispatcher with the native ring path.
+	AutoNative
+	// AutoOpt is the dispatcher with the tuned ring path.
+	AutoOpt
+	// SMPNative is the multi-core aware broadcast, native inter-node ring.
+	SMPNative
+	// SMPOpt is the multi-core aware broadcast, tuned inter-node ring.
+	SMPOpt
+)
+
+// String names the variant like the paper.
+func (v Variant) String() string {
+	switch v {
+	case Native:
+		return "MPI_Bcast_native"
+	case Opt:
+		return "MPI_Bcast_opt"
+	case Binomial:
+		return "binomial"
+	case AutoNative:
+		return "auto(native)"
+	case AutoOpt:
+		return "auto(opt)"
+	case SMPNative:
+		return "smp(native)"
+	case SMPOpt:
+		return "smp(opt)"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ParseVariant maps a CLI name to a Variant.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "native":
+		return Native, nil
+	case "opt":
+		return Opt, nil
+	case "binomial":
+		return Binomial, nil
+	case "auto":
+		return AutoNative, nil
+	case "auto-opt":
+		return AutoOpt, nil
+	case "smp":
+		return SMPNative, nil
+	case "smp-opt":
+		return SMPOpt, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown variant %q (native|opt|binomial|auto|auto-opt|smp|smp-opt)", s)
+	}
+}
+
+// fn returns the executable collective for the variant.
+func (v Variant) fn() func(mpi.Comm, []byte, int) error {
+	switch v {
+	case Native:
+		return collective.BcastScatterRingAllgather
+	case Opt:
+		return collective.BcastScatterRingAllgatherOpt
+	case Binomial:
+		return collective.BcastBinomial
+	case AutoNative:
+		return collective.Bcast
+	case AutoOpt:
+		return collective.BcastOpt
+	case SMPNative:
+		return collective.BcastSMP
+	case SMPOpt:
+		return collective.BcastSMPOpt
+	default:
+		return nil
+	}
+}
+
+// Program returns the variant's communication schedule for the simulated
+// harness (only schedule-static variants are supported there).
+func (v Variant) Program(p, root, n int) (*sched.Program, error) {
+	switch v {
+	case Native:
+		return core.BcastNativeProgram(p, root, n), nil
+	case Opt:
+		return core.BcastOptProgram(p, root, n), nil
+	case Binomial:
+		return core.BinomialBcast(p, root, n), nil
+	case AutoNative, AutoOpt:
+		switch collective.SelectAlgorithm(n, p, v == AutoOpt) {
+		case collective.AlgBinomial:
+			return core.BinomialBcast(p, root, n), nil
+		case collective.AlgScatterRdbAllgather:
+			return core.BcastRdbProgram(p, root, n), nil
+		case collective.AlgScatterRingAllgather:
+			return core.BcastNativeProgram(p, root, n), nil
+		default:
+			return core.BcastOptProgram(p, root, n), nil
+		}
+	default:
+		return nil, fmt.Errorf("bench: variant %v has no static schedule", v)
+	}
+}
+
+// RealConfig configures a real-engine measurement.
+type RealConfig struct {
+	// NP is the rank count.
+	NP int
+	// CoresPerNode controls the blocked placement (0 = single node).
+	CoresPerNode int
+	// EagerLimit overrides the engine protocol threshold (0 = default).
+	EagerLimit int
+	// Iterations is the number of broadcasts per measurement (the paper
+	// uses 100).
+	Iterations int
+	// Root is the broadcast root.
+	Root int
+	// Variant is the broadcast under test.
+	Variant Variant
+}
+
+func (cfg RealConfig) topology() *topology.Map {
+	if cfg.CoresPerNode <= 0 {
+		return topology.SingleNode(cfg.NP)
+	}
+	return topology.Blocked(cfg.NP, cfg.CoresPerNode)
+}
+
+// MeasureReal runs the paper's protocol on the real engine: synchronize
+// with a barrier, run cfg.Iterations broadcasts back to back, synchronize
+// again, and report bandwidth from the root's elapsed wall-clock time.
+func MeasureReal(cfg RealConfig, n int) (Result, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 100
+	}
+	fn := cfg.Variant.fn()
+	if fn == nil {
+		return Result{}, fmt.Errorf("bench: bad variant %v", cfg.Variant)
+	}
+	var elapsed time.Duration
+	err := engine.RunWith(engine.Options{
+		NP:         cfg.NP,
+		Topology:   cfg.topology(),
+		EagerLimit: cfg.EagerLimit,
+		Timeout:    10 * time.Minute,
+	}, func(c mpi.Comm) error {
+		buf := make([]byte, n)
+		if c.Rank() == cfg.Root {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		if err := collective.Barrier(c); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < cfg.Iterations; i++ {
+			if err := fn(c, buf, cfg.Root); err != nil {
+				return err
+			}
+		}
+		if err := collective.Barrier(c); err != nil {
+			return err
+		}
+		if c.Rank() == cfg.Root {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(n, elapsed.Seconds()/float64(cfg.Iterations)), nil
+}
+
+// SimConfig configures a simulated measurement.
+type SimConfig struct {
+	// Model is the cluster calibration (netsim.Hornet() by default).
+	Model *netsim.Model
+	// CoresPerNode controls the blocked placement (default 24, Hornet).
+	CoresPerNode int
+	// Warm and Total bound the steady-state replication (defaults 2, 6).
+	Warm, Total int
+	// Root is the broadcast root.
+	Root int
+}
+
+func (cfg *SimConfig) fill() {
+	if cfg.Model == nil {
+		cfg.Model = netsim.Hornet()
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = topology.HornetCoresPerNode
+	}
+	if cfg.Warm <= 0 {
+		cfg.Warm = 2
+	}
+	if cfg.Total <= cfg.Warm {
+		cfg.Total = cfg.Warm + 4
+	}
+}
+
+// MeasureSim predicts the steady-state per-broadcast time of the variant
+// on the modelled cluster and reports bandwidth.
+func MeasureSim(cfg SimConfig, v Variant, p, n int) (Result, error) {
+	cfg.fill()
+	pr, err := v.Program(p, cfg.Root, n)
+	if err != nil {
+		return Result{}, err
+	}
+	topo := topology.Blocked(p, cfg.CoresPerNode)
+	dt, err := netsim.SteadyStateIterTime(pr, topo, cfg.Model, cfg.Warm, cfg.Total)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(n, dt), nil
+}

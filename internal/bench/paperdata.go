@@ -1,0 +1,60 @@
+package bench
+
+// PaperClaim records a quantitative statement from the paper's evaluation
+// section, used by EXPERIMENTS.md and the shape checks in the test suite.
+type PaperClaim struct {
+	// Experiment identifies the figure or table.
+	Experiment string
+	// Statement quotes or paraphrases the claim.
+	Statement string
+	// Check describes the shape criterion the reproduction asserts.
+	Check string
+}
+
+// PaperClaims is the index of everything the paper reports that the
+// reproduction checks against.
+var PaperClaims = []PaperClaim{
+	{
+		Experiment: "SecIV-counts",
+		Statement:  "P=8: ring transfers 56 -> 44 (reduced by 12); P=10: 90 -> 75 (reduced by 15)",
+		Check:      "exact equality from the analytic model, the schedules, and traced execution",
+	},
+	{
+		Experiment: "fig6a",
+		Statement:  "np=16 (all intra-node): opt up to 12% faster (at 512 KB); peaks 2748 vs 2623 MB/s (about +10%); bandwidth drops beyond ~4 MB (memory capacity)",
+		Check:      "opt >= native at every size; single-digit-to-low-teens percent gain; a drop appears past the cache-capacity threshold",
+	},
+	{
+		Experiment: "fig6b",
+		Statement:  "np=64 (intra+inter): bandwidth up to 41% higher; peak bandwidth +13%",
+		Check:      "opt >= native; the maximum gain exceeds the np=16 maximum gain",
+	},
+	{
+		Experiment: "fig6c",
+		Statement:  "np=256: up to 20% gain; peak +16%; a dip around 3 MB from cache effects",
+		Check:      "opt >= native; peak-bandwidth gain largest of the three process counts",
+	},
+	{
+		Experiment: "fig7",
+		Statement:  "non-power-of-two process counts: opt consistently faster; ms=12288 more than 2x for 9/17/33 procs, dropping sharply at 65; ms=524287 and ms=1048576 similar, stable, above 1",
+		Check:      "all speedups >= 1; the 12288-byte series dominates at small np and decays with np; the two larger sizes stay close to each other",
+	},
+	{
+		Experiment: "fig8",
+		Statement:  "np=129, 12288..2560000 bytes: bandwidth grows steadily, no protocol kink, opt up to 30% better",
+		Check:      "both curves monotone non-decreasing (no kink); opt >= native with a double-digit maximum gain",
+	},
+	{
+		Experiment: "user-level",
+		Statement:  "barrier-synchronized, 100 iterations, bandwidth in base-2 MB/s",
+		Check:      "cmd/bcastbench implements the identical protocol on the real engine",
+	},
+}
+
+// Paper peak bandwidths for Figure 6(a) (MB/s, base-2), recorded for the
+// EXPERIMENTS.md comparison table. Absolute values are testbed-specific;
+// the reproduction matches their order of magnitude and ordering only.
+const (
+	PaperFig6aPeakNative = 2623.0
+	PaperFig6aPeakOpt    = 2748.0
+)

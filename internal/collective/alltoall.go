@@ -1,0 +1,52 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// tagAlltoall marks pairwise-exchange all-to-all messages.
+const tagAlltoall = 0x7F0B
+
+// Alltoall performs the complete exchange: rank i sends
+// sendBuf[j*chunk:(j+1)*chunk] to rank j and receives rank j's i-th chunk
+// into recvBuf[j*chunk:(j+1)*chunk].
+//
+// The implementation is MPICH's pairwise exchange for long messages: P-1
+// rounds, in round k rank i exchanges with partner i XOR k when P is a
+// power of two, and with (i+k) mod P / (i-k) mod P otherwise — each round
+// is a single Sendrecv, so the network sees at most one message per rank
+// per round.
+func Alltoall(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
+	p, rank := c.Size(), c.Rank()
+	if chunk < 0 {
+		return fmt.Errorf("collective: alltoall: negative chunk %d", chunk)
+	}
+	if len(sendBuf) < p*chunk {
+		return fmt.Errorf("collective: alltoall: send buffer %d bytes < %d", len(sendBuf), p*chunk)
+	}
+	if len(recvBuf) < p*chunk {
+		return fmt.Errorf("collective: alltoall: recv buffer %d bytes < %d", len(recvBuf), p*chunk)
+	}
+	// Local chunk moves without communication.
+	copy(recvBuf[rank*chunk:(rank+1)*chunk], sendBuf[rank*chunk:(rank+1)*chunk])
+
+	pow2 := p&(p-1) == 0
+	for k := 1; k < p; k++ {
+		var sendTo, recvFrom int
+		if pow2 {
+			sendTo = rank ^ k
+			recvFrom = sendTo
+		} else {
+			sendTo = (rank + k) % p
+			recvFrom = (rank - k + p) % p
+		}
+		sb := sendBuf[sendTo*chunk : (sendTo+1)*chunk]
+		rb := recvBuf[recvFrom*chunk : (recvFrom+1)*chunk]
+		if _, err := c.Sendrecv(sb, sendTo, tagAlltoall, rb, recvFrom, tagAlltoall); err != nil {
+			return fmt.Errorf("collective: alltoall round %d: %w", k, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package collective
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// pattern fills deterministic, offset-dependent bytes so any misplaced
+// chunk is detected.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + 7)
+	}
+	return b
+}
+
+type bcastFn func(mpi.Comm, []byte, int) error
+
+// runBcast executes algo on a fresh world and checks every rank ends with
+// the full pattern.
+func runBcast(t *testing.T, name string, algo bcastFn, opts engine.Options, root, n int) {
+	t.Helper()
+	want := pattern(n)
+	if opts.Timeout == 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	err := engine.RunWith(opts, func(c mpi.Comm) error {
+		buf := make([]byte, n)
+		if c.Rank() == root {
+			copy(buf, want)
+		}
+		if err := algo(c, buf, root); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("rank %d: buffer mismatch (first diff at %d)", c.Rank(), firstDiff(buf, want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s p=%d root=%d n=%d: %v", name, opts.NP, root, n, err)
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// algorithms lists every broadcast implementation with its constraints.
+var algorithms = []struct {
+	name     string
+	fn       bcastFn
+	pow2Only bool
+}{
+	{"binomial", BcastBinomial, false},
+	{"scatter-ring-native", BcastScatterRingAllgather, false},
+	{"scatter-ring-opt", BcastScatterRingAllgatherOpt, false},
+	{"scatter-rdb", BcastScatterRdbAllgather, true},
+	{"dispatch-native", Bcast, false},
+	{"dispatch-opt", BcastOpt, false},
+	{"smp-native", BcastSMP, false},
+	{"smp-opt", BcastSMPOpt, false},
+}
+
+func TestBcastCorrectnessGrid(t *testing.T) {
+	for _, alg := range algorithms {
+		for _, p := range []int{1, 2, 3, 4, 5, 8, 9, 10, 16, 17} {
+			if alg.pow2Only && !core.IsPow2(p) {
+				continue
+			}
+			for _, root := range []int{0, p / 2, p - 1} {
+				if root < 0 {
+					continue
+				}
+				for _, n := range []int{0, 1, p - 1, p, 10*p + 3, 1 << 12} {
+					if n < 0 {
+						continue
+					}
+					runBcast(t, alg.name, alg.fn, engine.Options{NP: p}, root, n)
+				}
+			}
+		}
+	}
+}
+
+func TestBcastRendezvousOnly(t *testing.T) {
+	// All transports rendezvous: exercises blocked senders inside the
+	// ring. Smaller grid, both ring variants.
+	for _, alg := range algorithms[:3] {
+		for _, p := range []int{2, 5, 8, 10} {
+			opts := engine.Options{NP: p, EagerLimit: -1}
+			runBcast(t, alg.name+"/rdv", alg.fn, opts, 0, 64*p+3)
+		}
+	}
+}
+
+func TestBcastTinyEagerLimit(t *testing.T) {
+	// Eager limit of 16 bytes mixes the protocols within one broadcast
+	// (short tail chunks eager, full chunks rendezvous).
+	for _, alg := range algorithms[:3] {
+		for _, p := range []int{4, 9, 12} {
+			opts := engine.Options{NP: p, EagerLimit: 16}
+			runBcast(t, alg.name+"/mixed", alg.fn, opts, 1%p, 24*p+5)
+		}
+	}
+}
+
+func TestBcastOnBlockedTopology(t *testing.T) {
+	// Multi-node placement: all algorithms must stay correct regardless
+	// of topology (only performance depends on it).
+	topo := topology.Blocked(12, 4)
+	for _, alg := range algorithms {
+		if alg.pow2Only {
+			continue
+		}
+		opts := engine.Options{NP: 12, Topology: topo}
+		runBcast(t, alg.name+"/blocked", alg.fn, opts, 5, 4096)
+	}
+}
+
+func TestBcastSMPRootNotLeader(t *testing.T) {
+	// Root 7 is not a node leader under Blocked(9,3) (leaders: 0,3,6).
+	topo := topology.Blocked(9, 3)
+	for _, fn := range []bcastFn{BcastSMP, BcastSMPOpt} {
+		opts := engine.Options{NP: 9, Topology: topo}
+		runBcast(t, "smp-nonleader-root", fn, opts, 7, 1000)
+	}
+}
+
+func TestBcastSMPSingleNodeFallsBack(t *testing.T) {
+	// On one node the SMP variant degenerates to a plain binomial; it
+	// must still work.
+	runBcast(t, "smp-single-node", BcastSMP, engine.Options{NP: 6}, 2, 512)
+}
+
+func TestBcastRejectsBadRoot(t *testing.T) {
+	err := engine.Run(2, func(c mpi.Comm) error {
+		err := BcastBinomial(c, nil, 5)
+		if !errors.Is(err, mpi.ErrRank) {
+			return fmt.Errorf("want ErrRank, got %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRdbRejectsNonPow2(t *testing.T) {
+	err := engine.Run(3, func(c mpi.Comm) error {
+		err := BcastScatterRdbAllgather(c, make([]byte, 3), 0)
+		if err == nil {
+			return errors.New("want power-of-two error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectAlgorithm(t *testing.T) {
+	cases := []struct {
+		n, p  int
+		tuned bool
+		want  Algorithm
+	}{
+		// Short messages: always binomial.
+		{0, 64, false, AlgBinomial},
+		{12287, 64, false, AlgBinomial},
+		{12287, 64, true, AlgBinomial},
+		// Small communicators: always binomial, even long messages.
+		{1 << 20, 7, false, AlgBinomial},
+		{1 << 20, 7, true, AlgBinomial},
+		// Medium, power-of-two: recursive doubling.
+		{12288, 64, false, AlgScatterRdbAllgather},
+		{524287, 16, false, AlgScatterRdbAllgather},
+		{524287, 16, true, AlgScatterRdbAllgather},
+		// Medium, non-power-of-two: the ring path (the paper's
+		// mmsg-npof2 case).
+		{12288, 9, false, AlgScatterRingAllgather},
+		{12288, 9, true, AlgScatterRingAllgatherOpt},
+		{524287, 129, false, AlgScatterRingAllgather},
+		{524287, 129, true, AlgScatterRingAllgatherOpt},
+		// Long messages: the ring path regardless of process count.
+		{524288, 16, false, AlgScatterRingAllgather},
+		{524288, 16, true, AlgScatterRingAllgatherOpt},
+		{1 << 25, 256, false, AlgScatterRingAllgather},
+		{1 << 25, 256, true, AlgScatterRingAllgatherOpt},
+	}
+	for _, tc := range cases {
+		if got := SelectAlgorithm(tc.n, tc.p, tc.tuned); got != tc.want {
+			t.Errorf("SelectAlgorithm(%d, %d, %v) = %v want %v", tc.n, tc.p, tc.tuned, got, tc.want)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		AlgBinomial:                "binomial",
+		AlgScatterRdbAllgather:     "scatter-rdb-allgather",
+		AlgScatterRingAllgather:    "scatter-ring-allgather(native)",
+		AlgScatterRingAllgatherOpt: "scatter-ring-allgather(opt)",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+// TestDispatchUsesThresholdSizes runs the dispatcher at exactly the
+// paper's threshold sizes end-to-end (correctness at the seams).
+func TestDispatchUsesThresholdSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("threshold sizes move hundreds of KiB per rank")
+	}
+	for _, n := range []int{BcastShortMsgSize - 1, BcastShortMsgSize, BcastLongMsgSize - 1, BcastLongMsgSize} {
+		for _, p := range []int{8, 9} {
+			runBcast(t, "dispatch-threshold", Bcast, engine.Options{NP: p}, 0, n)
+			runBcast(t, "dispatch-threshold-opt", BcastOpt, engine.Options{NP: p}, 0, n)
+		}
+	}
+}
+
+func TestBcastNBCorrectnessGrid(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8, 9, 10, 16} {
+		for _, root := range []int{0, p - 1} {
+			for _, n := range []int{0, 1, p, 32*p + 5} {
+				runBcast(t, "nb-opt", BcastScatterRingAllgatherOptNB, engine.Options{NP: p}, root, n)
+			}
+		}
+	}
+	// Rendezvous-only pass.
+	runBcast(t, "nb-opt-rdv", BcastScatterRingAllgatherOptNB,
+		engine.Options{NP: 10, EagerLimit: -1}, 3, 640)
+}

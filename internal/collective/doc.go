@@ -1,0 +1,64 @@
+// Package collective implements executable MPI collectives over the
+// mpi.Comm interface.
+//
+// The broadcast family is the subject of the reproduced paper:
+//
+//   - BcastBinomial — MPICH's short-message whole-buffer binomial tree;
+//   - BcastScatterRingAllgather — MPICH's long-message algorithm
+//     (binomial scatter + enclosed ring allgather), the paper's
+//     MPI_Bcast_native;
+//   - BcastScatterRingAllgatherOpt — the paper's contribution
+//     (binomial scatter + non-enclosed ring allgather), a faithful port
+//     of Listing 1, the paper's MPI_Bcast_opt;
+//   - BcastScatterRdbAllgather — MPICH's medium-message power-of-two
+//     algorithm (binomial scatter + recursive-doubling allgather);
+//   - Bcast / BcastOpt — MPICH3's size/process-count dispatch over the
+//     above (native vs tuned ring path);
+//   - BcastSMP / BcastSMPOpt — the multi-core aware variant described in
+//     the paper's introduction (intra-node binomial on the root's node,
+//     inter-node scatter-ring-allgather among node leaders, intra-node
+//     binomial everywhere else).
+//
+// Supporting collectives (Barrier, Scatter, Gather, Allgather, Reduce,
+// Allreduce) exist because the examples and the benchmark protocol need
+// them, mirroring how a real MPI application would use the library.
+//
+// All byte-buffer collectives follow MPI_BYTE semantics. Every function
+// is collective: all ranks of the communicator must call it with
+// compatible arguments.
+package collective
+
+import "repro/internal/core"
+
+// Reserved tags for collectives not covered by internal/core's phase tags.
+const (
+	tagReduce    = 0x7F06
+	tagGather    = 0x7F07
+	tagScatter   = 0x7F08
+	tagAllgather = 0x7F09
+)
+
+// MPICH3 broadcast dispatch thresholds (Section V of the paper: "The
+// message size threshold determined by MPICH3 to switch from short
+// messages to medium messages is 12288 bytes and ... from medium to long
+// messages is 524288 bytes").
+const (
+	// BcastShortMsgSize: messages strictly below this use the binomial tree.
+	BcastShortMsgSize = 12288
+	// BcastLongMsgSize: messages at or above this always use
+	// scatter-ring-allgather.
+	BcastLongMsgSize = 512 << 10
+	// BcastMinProcs: communicators smaller than this always use the
+	// binomial tree (MPIR_BCAST_MIN_PROCS in MPICH).
+	BcastMinProcs = 8
+)
+
+// Re-exported phase tags (defined next to the schedule generators so that
+// traces can be matched against generated programs).
+const (
+	TagScatter  = core.TagScatter
+	TagRing     = core.TagRing
+	TagRdb      = core.TagRdb
+	TagBinomial = core.TagBinomial
+	TagBarrier  = core.TagBarrier
+)

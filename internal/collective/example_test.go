@@ -1,0 +1,67 @@
+package collective_test
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/engine"
+	"repro/internal/mpi"
+)
+
+// The tuned broadcast in three lines: run ranks, fill the root's buffer,
+// call the collective.
+func ExampleBcastScatterRingAllgatherOpt() {
+	err := engine.Run(4, func(c mpi.Comm) error {
+		buf := make([]byte, 4)
+		if c.Rank() == 0 {
+			copy(buf, []byte{10, 20, 30, 40})
+		}
+		if err := collective.BcastScatterRingAllgatherOpt(c, buf, 0); err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			fmt.Println("rank 3 received", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// rank 3 received [10 20 30 40]
+}
+
+// SelectAlgorithm reproduces MPICH3's dispatch; the tuned ring serves
+// the paper's two target cases.
+func ExampleSelectAlgorithm() {
+	fmt.Println(collective.SelectAlgorithm(1024, 64, true))   // short
+	fmt.Println(collective.SelectAlgorithm(65536, 64, true))  // medium pow2
+	fmt.Println(collective.SelectAlgorithm(65536, 129, true)) // medium npof2
+	fmt.Println(collective.SelectAlgorithm(1<<20, 64, true))  // long
+	fmt.Println(collective.SelectAlgorithm(1<<20, 64, false)) // long, native
+	// Output:
+	// binomial
+	// scatter-rdb-allgather
+	// scatter-ring-allgather(opt)
+	// scatter-ring-allgather(opt)
+	// scatter-ring-allgather(native)
+}
+
+// Allreduce gives every rank the global sum.
+func ExampleAllreduceFloat64() {
+	err := engine.Run(5, func(c mpi.Comm) error {
+		out := make([]float64, 1)
+		if err := collective.AllreduceFloat64(c, []float64{float64(c.Rank())}, out, collective.OpSum); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Println("sum of ranks:", out[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// sum of ranks: 10
+}

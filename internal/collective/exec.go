@@ -1,0 +1,76 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+)
+
+// ExecProgram executes the calling rank's portion of a generated
+// communication schedule against the communicator, moving real bytes in
+// buf. It is the bridge between the schedule world (internal/core
+// generators, the verifier, the simulator) and the executable world: any
+// generated program — including relabelled extensions like the
+// node-aware ring — runs on the real engine without a hand-written
+// collective, and tests use it to prove that generated schedules and
+// hand-written collectives transfer identical data.
+//
+// Every rank of the communicator must call ExecProgram with the same
+// program. The buffer must be at least pr.N bytes.
+func ExecProgram(c mpi.Comm, pr *sched.Program, buf []byte) error {
+	if pr.P != c.Size() {
+		return fmt.Errorf("collective: exec: program has %d ranks, communicator %d", pr.P, c.Size())
+	}
+	if len(buf) < pr.N {
+		return fmt.Errorf("collective: exec: buffer %d bytes, program needs %d", len(buf), pr.N)
+	}
+	me := c.Rank()
+	for i, op := range pr.OpsOf(me) {
+		switch op.Kind {
+		case sched.OpSend:
+			if err := c.Send(buf[op.SendOff:op.SendOff+op.SendLen], op.To, op.Tag); err != nil {
+				return fmt.Errorf("collective: exec %q rank %d op %d: %w", pr.Name, me, i, err)
+			}
+		case sched.OpRecv:
+			st, err := c.Recv(buf[op.RecvOff:op.RecvOff+op.RecvLen], op.From, op.Tag)
+			if err != nil {
+				return fmt.Errorf("collective: exec %q rank %d op %d: %w", pr.Name, me, i, err)
+			}
+			if st.Count != op.RecvLen {
+				return fmt.Errorf("collective: exec %q rank %d op %d: received %d bytes, schedule says %d",
+					pr.Name, me, i, st.Count, op.RecvLen)
+			}
+		case sched.OpSendrecv:
+			st, err := c.Sendrecv(
+				buf[op.SendOff:op.SendOff+op.SendLen], op.To, op.Tag,
+				buf[op.RecvOff:op.RecvOff+op.RecvLen], op.From, op.Tag)
+			if err != nil {
+				return fmt.Errorf("collective: exec %q rank %d op %d: %w", pr.Name, me, i, err)
+			}
+			if st.Count != op.RecvLen {
+				return fmt.Errorf("collective: exec %q rank %d op %d: received %d bytes, schedule says %d",
+					pr.Name, me, i, st.Count, op.RecvLen)
+			}
+		default:
+			return fmt.Errorf("collective: exec %q rank %d op %d: unknown kind %d", pr.Name, me, i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// BcastChain broadcasts buf from root through a segmented pipeline chain
+// (extension baseline; see core.ChainBcast). segSize <= 0 selects the
+// default segment size.
+func BcastChain(c mpi.Comm, buf []byte, root int, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	return ExecProgram(c, chainProgram(c.Size(), root, len(buf), segSize), buf)
+}
+
+// chainProgram is a tiny indirection so tests can reuse the exact program.
+func chainProgram(p, root, n, segSize int) *sched.Program {
+	return core.ChainBcast(p, root, n, segSize)
+}

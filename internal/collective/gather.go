@@ -1,0 +1,175 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// Scatter distributes equal chunk-byte slices of sendBuf from root: rank
+// i receives sendBuf[i*chunk : (i+1)*chunk] into recvBuf. Only the root's
+// sendBuf is read; every rank's recvBuf must be at least chunk bytes.
+// The implementation is MPICH's binomial tree: interior ranks receive
+// their whole subtree block into a temporary buffer and forward
+// sub-blocks downward, so the root is not a serial bottleneck.
+func Scatter(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p, rank := c.Size(), c.Rank()
+	if chunk < 0 {
+		return fmt.Errorf("collective: scatter: negative chunk %d", chunk)
+	}
+	if len(recvBuf) < chunk {
+		return fmt.Errorf("collective: scatter: recv buffer %d bytes < chunk %d", len(recvBuf), chunk)
+	}
+	if rank == root && len(sendBuf) < p*chunk {
+		return fmt.Errorf("collective: scatter: send buffer %d bytes < %d", len(sendBuf), p*chunk)
+	}
+	if p == 1 {
+		copy(recvBuf[:chunk], sendBuf[:chunk])
+		return nil
+	}
+
+	rel := core.RelRank(rank, root, p)
+	extent := core.Extent(rel, p)
+
+	// tmp holds this rank's subtree block in relative-chunk order:
+	// relative chunk k lives at tmp[(k-rel)*chunk : ...).
+	var tmp []byte
+	if rank == root {
+		// Rotate the source into relative order so subtree blocks are
+		// contiguous (root's own chunk first).
+		tmp = make([]byte, p*chunk)
+		for k := 0; k < p; k++ {
+			src := core.AbsRank(k, root, p)
+			copy(tmp[k*chunk:(k+1)*chunk], sendBuf[src*chunk:(src+1)*chunk])
+		}
+	} else {
+		tmp = make([]byte, extent*chunk)
+		recvMask := rel & (-rel)
+		parent := core.AbsRank(rel-recvMask, root, p)
+		if _, err := c.Recv(tmp, parent, tagScatter); err != nil {
+			return fmt.Errorf("collective: scatter recv: %w", err)
+		}
+	}
+
+	recvMask := core.CeilPow2(p)
+	if rel != 0 {
+		recvMask = rel & (-rel)
+	}
+	for mask := recvMask >> 1; mask > 0; mask >>= 1 {
+		child := rel + mask
+		if child >= p {
+			continue
+		}
+		childExtent := core.Extent(child, p)
+		off := (child - rel) * chunk
+		dst := core.AbsRank(child, root, p)
+		if err := c.Send(tmp[off:off+childExtent*chunk], dst, tagScatter); err != nil {
+			return fmt.Errorf("collective: scatter send: %w", err)
+		}
+	}
+	copy(recvBuf[:chunk], tmp[:chunk])
+	return nil
+}
+
+// Gather collects chunk bytes from every rank's sendBuf into the root's
+// recvBuf (rank i's contribution lands at recvBuf[i*chunk:(i+1)*chunk]).
+// It is the mirror of Scatter: leaves send up the binomial tree, interior
+// ranks assemble their subtree block before forwarding.
+func Gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p, rank := c.Size(), c.Rank()
+	if chunk < 0 {
+		return fmt.Errorf("collective: gather: negative chunk %d", chunk)
+	}
+	if len(sendBuf) < chunk {
+		return fmt.Errorf("collective: gather: send buffer %d bytes < chunk %d", len(sendBuf), chunk)
+	}
+	if rank == root && len(recvBuf) < p*chunk {
+		return fmt.Errorf("collective: gather: recv buffer %d bytes < %d", len(recvBuf), p*chunk)
+	}
+	if p == 1 {
+		copy(recvBuf[:chunk], sendBuf[:chunk])
+		return nil
+	}
+
+	rel := core.RelRank(rank, root, p)
+	extent := core.Extent(rel, p)
+
+	tmp := make([]byte, extent*chunk)
+	copy(tmp[:chunk], sendBuf[:chunk])
+
+	// Receive children's subtree blocks, smallest mask first (the reverse
+	// of the scatter send order, so children that finish early match).
+	recvMask := core.CeilPow2(p)
+	if rel != 0 {
+		recvMask = rel & (-rel)
+	}
+	for mask := 1; mask < recvMask; mask <<= 1 {
+		child := rel + mask
+		if child >= p {
+			continue
+		}
+		childExtent := core.Extent(child, p)
+		off := (child - rel) * chunk
+		src := core.AbsRank(child, root, p)
+		if _, err := c.Recv(tmp[off:off+childExtent*chunk], src, tagGather); err != nil {
+			return fmt.Errorf("collective: gather recv: %w", err)
+		}
+	}
+	if rel != 0 {
+		parentMask := rel & (-rel)
+		parent := core.AbsRank(rel-parentMask, root, p)
+		if err := c.Send(tmp, parent, tagGather); err != nil {
+			return fmt.Errorf("collective: gather send: %w", err)
+		}
+		return nil
+	}
+	// Root: un-rotate the relative-order block into absolute rank order.
+	for k := 0; k < p; k++ {
+		dst := core.AbsRank(k, root, p)
+		copy(recvBuf[dst*chunk:(dst+1)*chunk], tmp[k*chunk:(k+1)*chunk])
+	}
+	return nil
+}
+
+// Allgather concatenates every rank's chunk-byte sendBuf into every
+// rank's recvBuf (size-p*chunk, rank i's data at offset i*chunk) using
+// the classic ring: P-1 steps, each rank forwarding the block it received
+// in the previous step. This is the textbook setting where the ring
+// allgather is bandwidth-optimal — unlike inside the broadcast, where the
+// scatter phase's subtree ownership makes the enclosed ring wasteful.
+func Allgather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
+	p, rank := c.Size(), c.Rank()
+	if chunk < 0 {
+		return fmt.Errorf("collective: allgather: negative chunk %d", chunk)
+	}
+	if len(sendBuf) < chunk {
+		return fmt.Errorf("collective: allgather: send buffer %d bytes < chunk %d", len(sendBuf), chunk)
+	}
+	if len(recvBuf) < p*chunk {
+		return fmt.Errorf("collective: allgather: recv buffer %d bytes < %d", len(recvBuf), p*chunk)
+	}
+	copy(recvBuf[rank*chunk:(rank+1)*chunk], sendBuf[:chunk])
+	if p == 1 {
+		return nil
+	}
+	left := (rank - 1 + p) % p
+	right := (rank + 1) % p
+	j, jnext := rank, left
+	for i := 1; i < p; i++ {
+		sb := recvBuf[j*chunk : (j+1)*chunk]
+		rb := recvBuf[jnext*chunk : (jnext+1)*chunk]
+		if _, err := c.Sendrecv(sb, right, tagAllgather, rb, left, tagAllgather); err != nil {
+			return fmt.Errorf("collective: allgather step %d: %w", i, err)
+		}
+		j = jnext
+		jnext = (jnext - 1 + p) % p
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// Op is a reduction operator over float64 vectors.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+)
+
+// String names the operator.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// combine accumulates src into dst element-wise.
+func (op Op) combine(dst, src []float64) {
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpProd:
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+func encodeFloat64s(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeFloat64s(b []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// ReduceFloat64 reduces every rank's `in` vector element-wise with op
+// into the root's `out` vector along a binomial tree (all operators are
+// commutative and associative up to floating-point rounding). Non-root
+// ranks may pass a nil out.
+func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	p, rank := c.Size(), c.Rank()
+	if rank == root && len(out) < len(in) {
+		return fmt.Errorf("collective: reduce: out %d < in %d", len(out), len(in))
+	}
+	acc := append([]float64(nil), in...)
+	if p > 1 {
+		rel := core.RelRank(rank, root, p)
+		// Children are exactly the binomial-bcast children; receive them
+		// smallest-first (reverse of bcast send order).
+		recvMask := core.CeilPow2(p)
+		if rel != 0 {
+			recvMask = rel & (-rel)
+		}
+		tmp := make([]float64, len(in))
+		buf := make([]byte, 8*len(in))
+		for mask := 1; mask < recvMask; mask <<= 1 {
+			child := rel + mask
+			if child >= p {
+				continue
+			}
+			src := core.AbsRank(child, root, p)
+			if _, err := c.Recv(buf, src, tagReduce); err != nil {
+				return fmt.Errorf("collective: reduce recv: %w", err)
+			}
+			decodeFloat64s(buf, tmp)
+			op.combine(acc, tmp)
+		}
+		if rel != 0 {
+			parent := core.AbsRank(rel-(rel&(-rel)), root, p)
+			if err := c.Send(encodeFloat64s(acc), parent, tagReduce); err != nil {
+				return fmt.Errorf("collective: reduce send: %w", err)
+			}
+		}
+	}
+	if rank == root {
+		copy(out, acc)
+	}
+	return nil
+}
+
+// AllreduceFloat64 reduces element-wise with op and delivers the result
+// to every rank's out vector (reduce to rank 0, then binomial broadcast).
+func AllreduceFloat64(c mpi.Comm, in, out []float64, op Op) error {
+	if len(out) < len(in) {
+		return fmt.Errorf("collective: allreduce: out %d < in %d", len(out), len(in))
+	}
+	var root0Out []float64
+	if c.Rank() == 0 {
+		root0Out = out
+	}
+	if err := ReduceFloat64(c, in, root0Out, op, 0); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(in))
+	if c.Rank() == 0 {
+		copy(buf, encodeFloat64s(out[:len(in)]))
+	}
+	if err := BcastBinomial(c, buf, 0); err != nil {
+		return err
+	}
+	decodeFloat64s(buf, out[:len(in)])
+	return nil
+}

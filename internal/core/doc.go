@@ -1,0 +1,23 @@
+// Package core implements the algorithmic content of the reproduced paper
+// ("A Bandwidth-saving Optimization for MPI Broadcast Collective
+// Operation", Zhou et al., ICPP 2015) as pure, deterministic functions:
+//
+//   - the chunk layout used by MPICH's scatter-ring-allgather broadcast
+//     (ceil(n/P)-byte chunks with short or empty tails);
+//   - the binomial scatter tree (Figures 1 and 2) and the resulting
+//     per-rank data ownership intervals;
+//   - the (step, flag) computation from the paper's Listing 1, which is
+//     the heart of the tuned non-enclosed ring allgather;
+//   - schedule generators for every algorithm involved: binomial scatter,
+//     native enclosed ring allgather (Figure 3), tuned non-enclosed ring
+//     allgather (Figures 4 and 5), recursive-doubling allgather (the
+//     MPICH medium-message power-of-two path), and whole-buffer binomial
+//     broadcast (the short-message path);
+//   - the analytic traffic model, including the closed-form message
+//     savings the paper quotes (P=8: 56 -> 44, P=10: 90 -> 75).
+//
+// Everything here is side-effect free and independent of any runtime:
+// the executable collectives (internal/collective) and the network
+// simulator (internal/netsim) both consume this package, and tests
+// cross-validate the three against each other.
+package core

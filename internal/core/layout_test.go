@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutEvenDivision(t *testing.T) {
+	l := NewLayout(80, 8)
+	if l.ScatterSize != 10 {
+		t.Fatalf("scatterSize = %d want 10", l.ScatterSize)
+	}
+	for rel := 0; rel < 8; rel++ {
+		if l.Count(rel) != 10 || l.Disp(rel) != rel*10 {
+			t.Fatalf("chunk %d: count=%d disp=%d", rel, l.Count(rel), l.Disp(rel))
+		}
+	}
+}
+
+func TestLayoutUnevenDivision(t *testing.T) {
+	// 10 bytes over 4 ranks: scatter_size = 3, chunks 3,3,3,1.
+	l := NewLayout(10, 4)
+	if l.ScatterSize != 3 {
+		t.Fatalf("scatterSize = %d want 3", l.ScatterSize)
+	}
+	wantCounts := []int{3, 3, 3, 1}
+	for rel, w := range wantCounts {
+		if l.Count(rel) != w {
+			t.Fatalf("count(%d) = %d want %d", rel, l.Count(rel), w)
+		}
+	}
+}
+
+func TestLayoutEmptyTailChunks(t *testing.T) {
+	// 5 bytes over 4 ranks: scatter_size = 2, chunks 2,2,1,0.
+	l := NewLayout(5, 4)
+	if got := []int{l.Count(0), l.Count(1), l.Count(2), l.Count(3)}; got[0] != 2 || got[1] != 2 || got[2] != 1 || got[3] != 0 {
+		t.Fatalf("counts = %v", got)
+	}
+	// Empty chunk's disp must be clamped so disp+count <= n.
+	if l.Disp(3)+l.Count(3) > 5 {
+		t.Fatalf("disp(3)+count(3) = %d beyond buffer", l.Disp(3)+l.Count(3))
+	}
+}
+
+func TestLayoutZeroBytes(t *testing.T) {
+	l := NewLayout(0, 4)
+	for rel := 0; rel < 4; rel++ {
+		if l.Count(rel) != 0 || l.Disp(rel) != 0 {
+			t.Fatalf("zero-byte layout chunk %d: count=%d disp=%d", rel, l.Count(rel), l.Disp(rel))
+		}
+	}
+}
+
+func TestLayoutPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{-1, 4}, {8, 0}, {8, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLayout(%d,%d) did not panic", c.n, c.p)
+				}
+			}()
+			NewLayout(c.n, c.p)
+		}()
+	}
+}
+
+// TestLayoutQuickPartition: chunks partition the buffer exactly.
+func TestLayoutQuickPartition(t *testing.T) {
+	f := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw)
+		p := int(pRaw)%64 + 1
+		l := NewLayout(n, p)
+		total := 0
+		for rel := 0; rel < p; rel++ {
+			c := l.Count(rel)
+			d := l.Disp(rel)
+			if c < 0 || d < 0 || d+c > n {
+				return false
+			}
+			// Chunks are contiguous: disp of the next chunk is disp+count
+			// whenever this chunk is full-size; in all cases coverage is
+			// contiguous from 0.
+			if c > 0 && d != rel*l.ScatterSize {
+				return false
+			}
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelAbsRankRoundTrip(t *testing.T) {
+	for p := 1; p <= 16; p++ {
+		for root := 0; root < p; root++ {
+			for rank := 0; rank < p; rank++ {
+				rel := RelRank(rank, root, p)
+				if rel < 0 || rel >= p {
+					t.Fatalf("rel out of range: rank=%d root=%d p=%d rel=%d", rank, root, p, rel)
+				}
+				if AbsRank(rel, root, p) != rank {
+					t.Fatalf("round trip failed: rank=%d root=%d p=%d", rank, root, p)
+				}
+			}
+			if RelRank(root, root, p) != 0 {
+				t.Fatalf("root must map to rel 0")
+			}
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	trues := []int{1, 2, 4, 8, 16, 64, 256, 1024}
+	falses := []int{0, -1, -4, 3, 5, 6, 7, 9, 12, 129}
+	for _, v := range trues {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range falses {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 100: 128, 129: 256}
+	for in, want := range cases {
+		if got := CeilPow2(in); got != want {
+			t.Errorf("CeilPow2(%d) = %d want %d", in, got, want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1024: 10}
+	for in, want := range cases {
+		if got := FloorLog2(in); got != want {
+			t.Errorf("FloorLog2(%d) = %d want %d", in, got, want)
+		}
+	}
+}

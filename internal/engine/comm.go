@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// tagSplit is the engine-reserved tag for the Split collective handshake.
+const tagSplit = 0x7F10
+
+// comm implements mpi.Comm over a World.
+type comm struct {
+	w       *World
+	ctx     int64
+	members []int // comm rank -> world rank
+	rank    int   // my comm rank
+	topo    *topology.Map
+}
+
+var _ mpi.Comm = (*comm)(nil)
+
+func (c *comm) Rank() int                { return c.rank }
+func (c *comm) Size() int                { return len(c.members) }
+func (c *comm) Topology() *topology.Map  { return c.topo }
+func (c *comm) worldRank() int           { return c.members[c.rank] }
+func (c *comm) worldRankOf(rank int) int { return c.members[rank] }
+
+func (c *comm) Send(buf []byte, to, tag int) error {
+	if err := mpi.CheckPeer(to, len(c.members), false); err != nil {
+		return fmt.Errorf("engine: send: %w", err)
+	}
+	if err := mpi.CheckTag(tag, false); err != nil {
+		return fmt.Errorf("engine: send: %w", err)
+	}
+	if to == c.rank {
+		return fmt.Errorf("engine: send: %w: self-send unsupported (deadlocks a blocking rank)", mpi.ErrRank)
+	}
+	return c.w.send(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag, true)
+}
+
+func (c *comm) Recv(buf []byte, from, tag int) (mpi.Status, error) {
+	if err := mpi.CheckPeer(from, len(c.members), true); err != nil {
+		return mpi.Status{}, fmt.Errorf("engine: recv: %w", err)
+	}
+	if err := mpi.CheckTag(tag, true); err != nil {
+		return mpi.Status{}, fmt.Errorf("engine: recv: %w", err)
+	}
+	return c.w.recv(c.ctx, c.worldRank(), buf, from, tag, true)
+}
+
+func (c *comm) Sendrecv(sendBuf []byte, to, sendTag int, recvBuf []byte, from, recvTag int) (mpi.Status, error) {
+	// Validate both halves up front so a bad argument cannot leave the
+	// other half blocked.
+	if err := mpi.CheckPeer(to, len(c.members), false); err != nil {
+		return mpi.Status{}, fmt.Errorf("engine: sendrecv: %w", err)
+	}
+	if err := mpi.CheckTag(sendTag, false); err != nil {
+		return mpi.Status{}, fmt.Errorf("engine: sendrecv: %w", err)
+	}
+	if err := mpi.CheckPeer(from, len(c.members), true); err != nil {
+		return mpi.Status{}, fmt.Errorf("engine: sendrecv: %w", err)
+	}
+	if err := mpi.CheckTag(recvTag, true); err != nil {
+		return mpi.Status{}, fmt.Errorf("engine: sendrecv: %w", err)
+	}
+	if to == c.rank || from == c.rank {
+		return mpi.Status{}, fmt.Errorf("engine: sendrecv: %w: self transfer unsupported", mpi.ErrRank)
+	}
+
+	// Post the receive first (a matching rendezvous sender can then
+	// complete against it), start the send, and wait for both. No
+	// goroutine is needed: isend never blocks (large or credit-overflow
+	// payloads are parked as zero-copy envelopes the receiver pulls).
+	rreq := c.w.irecv(c.ctx, c.worldRank(), recvBuf, from, recvTag)
+	sreq := c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), sendBuf, sendTag)
+	_, serr := sreq.Wait()
+	st, rerr := rreq.Wait()
+	if rerr != nil {
+		return st, rerr
+	}
+	return st, serr
+}
+
+func (c *comm) Isend(buf []byte, to, tag int) (mpi.Request, error) {
+	if err := mpi.CheckPeer(to, len(c.members), false); err != nil {
+		return nil, fmt.Errorf("engine: isend: %w", err)
+	}
+	if err := mpi.CheckTag(tag, false); err != nil {
+		return nil, fmt.Errorf("engine: isend: %w", err)
+	}
+	if to == c.rank {
+		return nil, fmt.Errorf("engine: isend: %w: self-send unsupported", mpi.ErrRank)
+	}
+	return c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag), nil
+}
+
+func (c *comm) Irecv(buf []byte, from, tag int) (mpi.Request, error) {
+	if err := mpi.CheckPeer(from, len(c.members), true); err != nil {
+		return nil, fmt.Errorf("engine: irecv: %w", err)
+	}
+	if err := mpi.CheckTag(tag, true); err != nil {
+		return nil, fmt.Errorf("engine: irecv: %w", err)
+	}
+	return c.w.irecv(c.ctx, c.worldRank(), buf, from, tag), nil
+}
+
+// Split partitions the communicator by color, ordering each new
+// communicator by (key, old rank). It is collective: rank 0 gathers all
+// (color, key) pairs, forms the groups, allocates a fresh context id per
+// group, and scatters each member its new communicator description.
+func (c *comm) Split(color, key int) (mpi.Comm, error) {
+	if color < 0 && color != mpi.Undefined {
+		return nil, fmt.Errorf("engine: split: negative color %d (use mpi.Undefined to opt out)", color)
+	}
+	p := len(c.members)
+
+	if c.rank == 0 {
+		colors := make([]int, p)
+		keys := make([]int, p)
+		colors[0], keys[0] = color, key
+		buf := make([]byte, 16)
+		for r := 1; r < p; r++ {
+			if _, err := c.Recv(buf, r, tagSplit); err != nil {
+				return nil, fmt.Errorf("engine: split gather from %d: %w", r, err)
+			}
+			vals := decodeInts(buf, 2)
+			colors[r], keys[r] = vals[0], vals[1]
+		}
+		replies, err := c.buildSplitGroups(colors, keys)
+		if err != nil {
+			return nil, err
+		}
+		for r := 1; r < p; r++ {
+			if err := c.Send(replies[r], r, tagSplit); err != nil {
+				return nil, fmt.Errorf("engine: split scatter to %d: %w", r, err)
+			}
+		}
+		return c.commFromReply(replies[0])
+	}
+
+	if err := c.Send(encodeInts(color, key), 0, tagSplit); err != nil {
+		return nil, fmt.Errorf("engine: split send: %w", err)
+	}
+	reply := make([]byte, (3+p)*8)
+	st, err := c.Recv(reply, 0, tagSplit)
+	if err != nil {
+		return nil, fmt.Errorf("engine: split recv: %w", err)
+	}
+	return c.commFromReply(reply[:st.Count])
+}
+
+// buildSplitGroups computes, on rank 0, each rank's reply: the encoded
+// (ctx, newRank, size, worldMembers...) of its new communicator, or
+// (0, 0, 0) for Undefined colors.
+func (c *comm) buildSplitGroups(colors, keys []int) ([][]byte, error) {
+	p := len(c.members)
+	type member struct{ key, oldRank int }
+	groups := map[int][]member{}
+	for r := 0; r < p; r++ {
+		if colors[r] == mpi.Undefined {
+			continue
+		}
+		groups[colors[r]] = append(groups[colors[r]], member{keys[r], r})
+	}
+	// Deterministic context allocation: ascending color order.
+	colorOrder := make([]int, 0, len(groups))
+	for col := range groups {
+		colorOrder = append(colorOrder, col)
+	}
+	sort.Ints(colorOrder)
+
+	replies := make([][]byte, p)
+	for r := range replies {
+		replies[r] = encodeInts(0, 0, 0) // default: Undefined -> nil comm
+	}
+	for _, col := range colorOrder {
+		ms := groups[col]
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].key != ms[j].key {
+				return ms[i].key < ms[j].key
+			}
+			return ms[i].oldRank < ms[j].oldRank
+		})
+		ctx := c.w.ctxSeq.Add(1)
+		worldMembers := make([]int, len(ms))
+		for i, m := range ms {
+			worldMembers[i] = c.members[m.oldRank]
+		}
+		for newRank, m := range ms {
+			vals := append([]int{int(ctx), newRank, len(ms)}, worldMembers...)
+			replies[m.oldRank] = encodeInts(vals...)
+		}
+	}
+	return replies, nil
+}
+
+// commFromReply decodes a Split reply into a live communicator (or nil
+// for an Undefined color).
+func (c *comm) commFromReply(reply []byte) (mpi.Comm, error) {
+	head := decodeInts(reply, 3)
+	ctx, newRank, size := int64(head[0]), head[1], head[2]
+	if size == 0 {
+		return nil, nil
+	}
+	if len(reply) < (3+size)*8 {
+		return nil, fmt.Errorf("engine: split reply truncated: %d bytes for size %d", len(reply), size)
+	}
+	members := decodeInts(reply[3*8:], size)
+	topo, err := c.w.topo.Subset(members)
+	if err != nil {
+		return nil, fmt.Errorf("engine: split topology: %w", err)
+	}
+	return &comm{w: c.w, ctx: ctx, members: members, rank: newRank, topo: topo}, nil
+}
+
+// encodeInts packs ints as little-endian int64s.
+func encodeInts(vals ...int) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(int64(v)))
+	}
+	return b
+}
+
+// decodeInts unpacks n little-endian int64s.
+func decodeInts(b []byte, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return out
+}
+
+// Iprobe reports whether a matching message has arrived without
+// consuming it.
+func (c *comm) Iprobe(from, tag int) (mpi.Status, bool, error) {
+	if err := mpi.CheckPeer(from, len(c.members), true); err != nil {
+		return mpi.Status{}, false, fmt.Errorf("engine: iprobe: %w", err)
+	}
+	if err := mpi.CheckTag(tag, true); err != nil {
+		return mpi.Status{}, false, fmt.Errorf("engine: iprobe: %w", err)
+	}
+	ep := c.w.eps[c.worldRank()]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for _, env := range ep.arrivals {
+		if env.ctx == c.ctx && matchSrc(from, env.src) && matchTag(tag, env.tag) {
+			n := len(env.data)
+			if env.rdv != nil {
+				n = len(env.rdv.buf)
+			}
+			return mpi.Status{Source: env.src, Tag: env.tag, Count: n}, true, nil
+		}
+	}
+	return mpi.Status{}, false, nil
+}

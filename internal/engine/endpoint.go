@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// envelope is a message that arrived before a matching receive was posted
+// (MPI's "unexpected message queue" entry).
+type envelope struct {
+	ctx      int64
+	src      int // sender's rank within the ctx communicator
+	srcWorld int // sender's world rank (for flow-control accounting)
+	tag      int
+	data     []byte    // eager payload (engine-owned copy); nil for rendezvous
+	rdv      *rdvState // non-nil for rendezvous
+}
+
+// rdvState links a blocked rendezvous sender to the eventual receiver.
+// The receiver copies directly out of buf (single copy) and closes done.
+type rdvState struct {
+	buf  []byte
+	done chan struct{}
+}
+
+// posted is a receive waiting for a matching message.
+type posted struct {
+	ctx      int64
+	src, tag int // may be mpi.AnySource / mpi.AnyTag
+	buf      []byte
+	done     chan recvResult // buffered(1): sender never blocks delivering
+}
+
+type recvResult struct {
+	st  mpi.Status
+	err error
+}
+
+// endpoint is one rank's mailbox: the unexpected-message queue and the
+// posted-receive queue, both in arrival/post order so matching follows
+// MPI's non-overtaking rule.
+type endpoint struct {
+	mu       sync.Mutex
+	arrivals []*envelope
+	recvs    []*posted
+	// eagerBuffered counts unconsumed eager envelopes per sender world
+	// rank; creditWait holds a blocked sender's wakeup channel (at most
+	// one per sender — a rank has at most one send in flight).
+	eagerBuffered map[int]int
+	creditWait    map[int]chan struct{}
+}
+
+func newEndpoint() *endpoint {
+	return &endpoint{
+		eagerBuffered: map[int]int{},
+		creditWait:    map[int]chan struct{}{},
+	}
+}
+
+// releaseEagerCredit is called (with ep.mu held) after an eager envelope
+// from srcWorld has been consumed; it wakes a flow-control-blocked sender.
+func (ep *endpoint) releaseEagerCredit(srcWorld int) {
+	ep.eagerBuffered[srcWorld]--
+	if ep.eagerBuffered[srcWorld] <= 0 {
+		delete(ep.eagerBuffered, srcWorld)
+	}
+	if ch, ok := ep.creditWait[srcWorld]; ok {
+		delete(ep.creditWait, srcWorld)
+		close(ch)
+	}
+}
+
+func matchSrc(want, got int) bool { return want == mpi.AnySource || want == got }
+func matchTag(want, got int) bool { return want == mpi.AnyTag || want == got }
+
+// copyPayload copies src into dst, reporting truncation when src does not
+// fit (MPI_ERR_TRUNCATE; the receiver sees the error, the sender does not).
+func copyPayload(dst, src []byte) (int, error) {
+	if len(src) > len(dst) {
+		copy(dst, src[:len(dst)])
+		return len(dst), fmt.Errorf("%w: %d-byte message, %d-byte buffer", mpi.ErrTruncate, len(src), len(dst))
+	}
+	copy(dst, src)
+	return len(src), nil
+}
+
+// matchPosted finds and removes the first posted receive matching
+// (ctx, src, tag). Caller holds ep.mu.
+func (ep *endpoint) matchPosted(ctx int64, src, tag int) *posted {
+	for i, pr := range ep.recvs {
+		if pr.ctx == ctx && matchSrc(pr.src, src) && matchTag(pr.tag, tag) {
+			ep.recvs = append(ep.recvs[:i], ep.recvs[i+1:]...)
+			return pr
+		}
+	}
+	return nil
+}
+
+// matchArrival finds and removes the first arrived envelope matching
+// (ctx, src, tag). Caller holds ep.mu.
+func (ep *endpoint) matchArrival(ctx int64, src, tag int) *envelope {
+	for i, env := range ep.arrivals {
+		if env.ctx == ctx && matchSrc(src, env.src) && matchTag(tag, env.tag) {
+			ep.arrivals = append(ep.arrivals[:i], ep.arrivals[i+1:]...)
+			return env
+		}
+	}
+	return nil
+}
+
+func (ep *endpoint) pendingArrivals() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.arrivals)
+}
+
+func (ep *endpoint) pendingRecvs() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.recvs)
+}
+
+// describePending renders this endpoint's stuck state for diagnostics.
+func (ep *endpoint) describePending(rank int) string {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	s := ""
+	for _, pr := range ep.recvs {
+		s += fmt.Sprintf(" [rank %d waiting recv src=%d tag=%d ctx=%d]", rank, pr.src, pr.tag, pr.ctx)
+	}
+	for _, env := range ep.arrivals {
+		if env.rdv != nil {
+			s += fmt.Sprintf(" [rank %d holds blocked rendezvous send from %d tag=%d ctx=%d]", rank, env.src, env.tag, env.ctx)
+		}
+	}
+	return s
+}

@@ -1,0 +1,325 @@
+// Package engine is the in-process MPI-like runtime: it executes one
+// goroutine per rank and provides blocking point-to-point messaging with
+// MPI matching semantics ((context, source, tag) with wildcards, pairwise
+// non-overtaking order), an eager protocol for small messages (payload
+// copied into the receiver's unexpected queue) and a rendezvous protocol
+// for large ones (sender blocks until the receiver copies directly from
+// the sender's buffer — the single-copy large-transfer path the paper's
+// platforms use for the message sizes under study).
+//
+// The engine substitutes for a real MPI library plus cluster: every
+// algorithm really moves its bytes through shared memory, so correctness
+// tests and user-level wall-clock benchmarks run against it. Timing of
+// the paper's cluster experiments is modelled separately by
+// internal/netsim.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// DefaultEagerLimit is the eager/rendezvous protocol switch-over in bytes
+// when Options.EagerLimit is zero. MPICH's default nemesis eager limit is
+// 64 KiB.
+const DefaultEagerLimit = 64 << 10
+
+// DefaultEagerCredits is the default per-(receiver, sender) window of
+// eager messages buffered but not yet received. Real MPI transports bound
+// their unexpected-message storage and flow-control senders once the
+// window fills; without this, a broadcast loop whose tuned root never
+// blocks would flood receivers' queues without bound.
+const DefaultEagerCredits = 64
+
+// Options configures a World.
+type Options struct {
+	// NP is the number of ranks (required, > 0).
+	NP int
+	// Topology places ranks on nodes; nil means all ranks on one node.
+	// It must have exactly NP ranks.
+	Topology *topology.Map
+	// EagerLimit is the largest payload sent eagerly; larger messages use
+	// the rendezvous protocol. Zero selects DefaultEagerLimit; negative
+	// forces rendezvous for every message.
+	EagerLimit int
+	// EagerCredits bounds the eager messages one sender may have buffered
+	// at one receiver before further sends block (flow control). Zero
+	// selects DefaultEagerCredits; negative means unlimited.
+	EagerCredits int
+	// Timeout aborts the whole run if it exceeds this wall-clock bound.
+	// Zero selects 120 s.
+	Timeout time.Duration
+	// DeadlockAfter is how long every live rank must sit blocked in a
+	// communication call with zero progress before the watchdog declares
+	// deadlock. Zero selects 500 ms; negative disables detection.
+	DeadlockAfter time.Duration
+}
+
+// World is a fixed-size group of ranks with message endpoints. A World is
+// single-use: create, Run, discard.
+type World struct {
+	np           int
+	topo         *topology.Map
+	eagerLimit   int
+	eagerCredits int // 0 = unlimited
+	timeout      time.Duration
+	deadlock     time.Duration
+
+	eps    []*endpoint
+	ctxSeq atomic.Int64
+
+	aborted   chan struct{}
+	abortOnce sync.Once
+	abortErr  atomic.Value // error
+
+	progress atomic.Int64
+	// state[r]: 0 = running, 1 = blocked in a communication call, 2 = done.
+	state []atomic.Int32
+	ran   atomic.Bool
+}
+
+// NewWorld validates opts and builds a World.
+func NewWorld(opts Options) (*World, error) {
+	if opts.NP <= 0 {
+		return nil, fmt.Errorf("engine: NP must be positive, got %d", opts.NP)
+	}
+	topo := opts.Topology
+	if topo == nil {
+		topo = topology.SingleNode(opts.NP)
+	}
+	if topo.NP() != opts.NP {
+		return nil, fmt.Errorf("engine: topology has %d ranks, want %d", topo.NP(), opts.NP)
+	}
+	eager := opts.EagerLimit
+	switch {
+	case eager == 0:
+		eager = DefaultEagerLimit
+	case eager < 0:
+		eager = -1 // every message rendezvous (even empty ones)
+	}
+	credits := opts.EagerCredits
+	switch {
+	case credits == 0:
+		credits = DefaultEagerCredits
+	case credits < 0:
+		credits = 0 // unlimited
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 120 * time.Second
+	}
+	dl := opts.DeadlockAfter
+	if dl == 0 {
+		dl = 500 * time.Millisecond
+	}
+	w := &World{
+		np:           opts.NP,
+		topo:         topo,
+		eagerLimit:   eager,
+		eagerCredits: credits,
+		timeout:      timeout,
+		deadlock:     dl,
+		eps:          make([]*endpoint, opts.NP),
+		aborted:      make(chan struct{}),
+		state:        make([]atomic.Int32, opts.NP),
+	}
+	for i := range w.eps {
+		w.eps[i] = newEndpoint()
+	}
+	return w, nil
+}
+
+// NP returns the world size.
+func (w *World) NP() int { return w.np }
+
+// Topology returns the world's rank placement.
+func (w *World) Topology() *topology.Map { return w.topo }
+
+// EagerLimit returns the effective eager/rendezvous threshold (-1 when
+// rendezvous is forced).
+func (w *World) EagerLimit() int { return w.eagerLimit }
+
+func (w *World) abort(err error) {
+	w.abortOnce.Do(func() {
+		w.abortErr.Store(err)
+		close(w.aborted)
+	})
+}
+
+func (w *World) abortError() error {
+	if err, ok := w.abortErr.Load().(error); ok {
+		return fmt.Errorf("%w: %w", mpi.ErrAborted, err)
+	}
+	return mpi.ErrAborted
+}
+
+// Run executes fn concurrently on every rank and waits for all of them.
+// A rank returning a non-nil error (or panicking) aborts the world,
+// unblocking every pending operation with mpi.ErrAborted. After a clean
+// finish, Run fails if any endpoint still holds unconsumed messages —
+// every sent message must have been received, which catches mismatched
+// schedules that MPI itself would let leak.
+func (w *World) Run(fn func(mpi.Comm) error) error {
+	if !w.ran.CompareAndSwap(false, true) {
+		return errors.New("engine: World is single-use; create a new one per Run")
+	}
+	worldCtx := w.ctxSeq.Add(1)
+	members := make([]int, w.np)
+	for i := range members {
+		members[i] = i
+	}
+
+	errs := make([]error, w.np)
+	var wg sync.WaitGroup
+	for r := 0; r < w.np; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer w.state[rank].Store(2)
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("engine: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+					w.abort(errs[rank])
+				}
+			}()
+			c := &comm{w: w, ctx: worldCtx, members: members, rank: rank, topo: w.topo}
+			if err := fn(c); err != nil {
+				errs[rank] = fmt.Errorf("engine: rank %d: %w", rank, err)
+				w.abort(errs[rank])
+			}
+		}(r)
+	}
+
+	watchdogDone := make(chan struct{})
+	var watchdogWG sync.WaitGroup
+	watchdogWG.Add(1)
+	go func() {
+		defer watchdogWG.Done()
+		w.watchdog(watchdogDone)
+	}()
+
+	wg.Wait()
+	close(watchdogDone)
+	watchdogWG.Wait()
+
+	// Report the root cause: a rank's own failure beats cascade aborts.
+	var cascade error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, mpi.ErrAborted) {
+			return err
+		}
+		if cascade == nil {
+			cascade = err
+		}
+	}
+	if err, ok := w.abortErr.Load().(error); ok {
+		return err
+	}
+	if cascade != nil {
+		return cascade
+	}
+	// Strictness: no message may be left unconsumed.
+	for rank, ep := range w.eps {
+		if n := ep.pendingArrivals(); n > 0 {
+			return fmt.Errorf("engine: rank %d finished with %d unconsumed messages", rank, n)
+		}
+		if n := ep.pendingRecvs(); n > 0 {
+			return fmt.Errorf("engine: rank %d finished with %d unmatched posted receives", rank, n)
+		}
+	}
+	return nil
+}
+
+// watchdog aborts the world on wall-clock timeout or on a detected global
+// deadlock: every live rank blocked in a communication call with the
+// progress counter frozen for at least w.deadlock.
+func (w *World) watchdog(done <-chan struct{}) {
+	hard := time.NewTimer(w.timeout)
+	defer hard.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+
+	var frozenSince time.Time
+	lastProgress := int64(-1)
+	for {
+		select {
+		case <-done:
+			return
+		case <-w.aborted:
+			return
+		case <-hard.C:
+			w.abort(fmt.Errorf("engine: wall-clock timeout after %v%s", w.timeout, w.pendingSummary()))
+			return
+		case <-tick.C:
+			if w.deadlock < 0 {
+				continue
+			}
+			prog := w.progress.Load()
+			allBlocked := true
+			anyBlocked := false
+			for r := range w.state {
+				switch w.state[r].Load() {
+				case 0:
+					allBlocked = false
+				case 1:
+					anyBlocked = true
+				}
+			}
+			if !(allBlocked && anyBlocked) || prog != lastProgress {
+				lastProgress = prog
+				frozenSince = time.Time{}
+				continue
+			}
+			if frozenSince.IsZero() {
+				frozenSince = time.Now()
+				continue
+			}
+			if time.Since(frozenSince) >= w.deadlock {
+				w.abort(fmt.Errorf("%w: all live ranks blocked with no progress for %v%s",
+					mpi.ErrDeadlock, w.deadlock, w.pendingSummary()))
+				return
+			}
+		}
+	}
+}
+
+// pendingSummary renders the blocked operations for deadlock diagnostics.
+func (w *World) pendingSummary() string {
+	s := ""
+	for rank, ep := range w.eps {
+		s += ep.describePending(rank)
+	}
+	if s == "" {
+		return ""
+	}
+	return "; pending:" + s
+}
+
+// Run is the convenience entry point: np ranks on a single node with
+// default options.
+func Run(np int, fn func(mpi.Comm) error) error {
+	w, err := NewWorld(Options{NP: np})
+	if err != nil {
+		return err
+	}
+	return w.Run(fn)
+}
+
+// RunWith builds a world with the given options and runs fn.
+func RunWith(opts Options, fn func(mpi.Comm) error) error {
+	w, err := NewWorld(opts)
+	if err != nil {
+		return err
+	}
+	return w.Run(fn)
+}

@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestIsendIrecvRoundTrip(t *testing.T) {
+	err := Run(2, func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend([]byte("async"), 1, 4)
+			if err != nil {
+				return err
+			}
+			st, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if st.Count != 5 {
+				return fmt.Errorf("send status = %+v", st)
+			}
+			return nil
+		}
+		buf := make([]byte, 8)
+		req, err := c.Irecv(buf, 0, 4)
+		if err != nil {
+			return err
+		}
+		st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if st.Count != 5 || string(buf[:5]) != "async" {
+			return fmt.Errorf("recv %q status %+v", buf[:st.Count], st)
+		}
+		// Wait is idempotent.
+		st2, err := req.Wait()
+		if err != nil || st2 != st {
+			return fmt.Errorf("second Wait: %+v %v", st2, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendNonOvertaking(t *testing.T) {
+	// Multiple outstanding isends on one channel, mixing eager and
+	// zero-copy (rendezvous-size) messages, must arrive in issue order.
+	const k = 12
+	err := RunWith(Options{NP: 2, EagerLimit: 64, DeadlockAfter: time.Second}, func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			bufs := make([][]byte, k)
+			reqs := make([]mpi.Request, k)
+			for i := 0; i < k; i++ {
+				size := 8
+				if i%2 == 1 {
+					size = 256 // beyond eager: zero-copy envelope
+				}
+				bufs[i] = bytes.Repeat([]byte{byte(i)}, size)
+				req, err := c.Isend(bufs[i], 1, 3)
+				if err != nil {
+					return err
+				}
+				reqs[i] = req
+			}
+			_, err := mpi.WaitAll(reqs...)
+			return err
+		}
+		for i := 0; i < k; i++ {
+			buf := make([]byte, 256)
+			st, err := c.Recv(buf, 0, 3)
+			if err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("message %d out of order: first byte %d (count %d)", i, buf[0], st.Count)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvPostedBeforeSendGetsZeroCopy(t *testing.T) {
+	// Posting the receive first lets a rendezvous-size isend complete
+	// directly against it.
+	err := RunWith(Options{NP: 2, EagerLimit: -1, DeadlockAfter: time.Second}, func(c mpi.Comm) error {
+		payload := bytes.Repeat([]byte{7}, 1024)
+		if c.Rank() == 1 {
+			buf := make([]byte, 1024)
+			req, err := c.Irecv(buf, 0, 9)
+			if err != nil {
+				return err
+			}
+			// Tell rank 0 the receive is posted.
+			if err := c.Send(nil, 0, 1); err != nil {
+				return err
+			}
+			st, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if st.Count != 1024 || !bytes.Equal(buf, payload) {
+				return fmt.Errorf("zero-copy recv corrupt: %+v", st)
+			}
+			return nil
+		}
+		if _, err := c.Recv(nil, 1, 1); err != nil {
+			return err
+		}
+		req, err := c.Isend(payload, 1, 9)
+		if err != nil {
+			return err
+		}
+		if !req.Done() {
+			// The posted receive existed, so the send matched instantly.
+			return errors.New("isend against posted recv should complete immediately")
+		}
+		_, err = req.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestDonePolling(t *testing.T) {
+	err := RunWith(testOpts(2), func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			return c.Send([]byte{1}, 1, 1)
+		}
+		buf := make([]byte, 1)
+		req, err := c.Irecv(buf, 0, 1)
+		if err != nil {
+			return err
+		}
+		if req.Done() {
+			return errors.New("request done before any send")
+		}
+		for !req.Done() {
+			time.Sleep(time.Millisecond)
+		}
+		st, err := req.Wait()
+		if err != nil || st.Count != 1 {
+			return fmt.Errorf("after Done: %+v %v", st, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendValidation(t *testing.T) {
+	err := Run(2, func(c mpi.Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if _, err := c.Isend(nil, 9, 1); !errors.Is(err, mpi.ErrRank) {
+			return fmt.Errorf("peer: %v", err)
+		}
+		if _, err := c.Isend(nil, 0, 1); !errors.Is(err, mpi.ErrRank) {
+			return fmt.Errorf("self: %v", err)
+		}
+		if _, err := c.Isend(nil, 1, -1); !errors.Is(err, mpi.ErrTag) {
+			return fmt.Errorf("tag: %v", err)
+		}
+		if _, err := c.Irecv(nil, -9, 1); !errors.Is(err, mpi.ErrRank) {
+			return fmt.Errorf("irecv peer: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendOverflowBeyondCreditsCompletes(t *testing.T) {
+	// More outstanding isends than the credit window: the overflow is
+	// parked zero-copy and everything still arrives intact and in order.
+	const k = 10
+	err := RunWith(Options{NP: 2, EagerLimit: 1 << 10, EagerCredits: 2, DeadlockAfter: time.Second}, func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			bufs := make([][]byte, k)
+			reqs := make([]mpi.Request, k)
+			for i := range reqs {
+				bufs[i] = bytes.Repeat([]byte{byte(i + 1)}, 64)
+				req, err := c.Isend(bufs[i], 1, 2)
+				if err != nil {
+					return err
+				}
+				reqs[i] = req
+			}
+			_, err := mpi.WaitAll(reqs...)
+			return err
+		}
+		time.Sleep(10 * time.Millisecond) // let the sender queue up
+		for i := 0; i < k; i++ {
+			buf := make([]byte, 64)
+			if _, err := c.Recv(buf, 0, 2); err != nil {
+				return err
+			}
+			if buf[0] != byte(i+1) {
+				return fmt.Errorf("message %d out of order: %d", i, buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllCollectsFirstError(t *testing.T) {
+	err := Run(2, func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send([]byte{1, 2, 3, 4}, 1, 1); err != nil {
+				return err
+			}
+			return c.Send([]byte{5}, 1, 2)
+		}
+		small := make([]byte, 1) // will truncate tag 1
+		ok := make([]byte, 1)
+		r1, err := c.Irecv(small, 0, 1)
+		if err != nil {
+			return err
+		}
+		r2, err := c.Irecv(ok, 0, 2)
+		if err != nil {
+			return err
+		}
+		sts, err := mpi.WaitAll(r1, r2)
+		if !errors.Is(err, mpi.ErrTruncate) {
+			return fmt.Errorf("want truncate, got %v", err)
+		}
+		if sts[1].Count != 1 || ok[0] != 5 {
+			return fmt.Errorf("second request not completed: %+v", sts[1])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvStillWorksAfterRefactor(t *testing.T) {
+	// Regression guard: Sendrecv (now goroutine-free) under forced
+	// rendezvous in large rings.
+	err := RunWith(Options{NP: 16, EagerLimit: -1, DeadlockAfter: 2 * time.Second}, func(c mpi.Comm) error {
+		right := (c.Rank() + 1) % c.Size()
+		left := (c.Rank() + c.Size() - 1) % c.Size()
+		out := bytes.Repeat([]byte{byte(c.Rank())}, 4096)
+		in := make([]byte, 4096)
+		for step := 0; step < 5; step++ {
+			if _, err := c.Sendrecv(out, right, 1, in, left, 1); err != nil {
+				return err
+			}
+			if in[0] != byte(left) {
+				return fmt.Errorf("step %d: got %d want %d", step, in[0], left)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	err := RunWith(testOpts(2), func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send([]byte{1, 2, 3}, 1, 7); err != nil {
+				return err
+			}
+			// Signal that the message is definitely enqueued.
+			return c.Send(nil, 1, 8)
+		}
+		if _, err := c.Recv(nil, 0, 8); err != nil {
+			return err
+		}
+		st, ok, err := c.Iprobe(0, 7)
+		if err != nil {
+			return err
+		}
+		if !ok || st.Count != 3 || st.Source != 0 || st.Tag != 7 {
+			return fmt.Errorf("iprobe = %+v ok=%v", st, ok)
+		}
+		// Probing must not consume: the receive still succeeds.
+		buf := make([]byte, 3)
+		if _, err := c.Recv(buf, 0, 7); err != nil {
+			return err
+		}
+		// Nothing left now.
+		if _, ok, err := c.Iprobe(mpi.AnySource, mpi.AnyTag); err != nil || ok {
+			return fmt.Errorf("iprobe after drain: ok=%v err=%v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeValidation(t *testing.T) {
+	err := Run(2, func(c mpi.Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if _, _, err := c.Iprobe(-9, 1); !errors.Is(err, mpi.ErrRank) {
+			return fmt.Errorf("peer: %v", err)
+		}
+		if _, _, err := c.Iprobe(1, -5); !errors.Is(err, mpi.ErrTag) {
+			return fmt.Errorf("tag: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"repro/internal/mpi"
+)
+
+// request implements mpi.Request. A request is used only by its owning
+// rank's goroutine (like MPI), so completion caching needs no locking.
+type request struct {
+	w *World
+	// trackRank, when >= 0, marks that world rank blocked while Wait
+	// waits (deadlock-detector accounting).
+	trackRank int
+
+	// Pending completion sources (exactly one is non-nil while pending):
+	recvCh chan recvResult // posted receive
+	rdv    *rdvState       // zero-copy send awaiting its receiver
+	sendN  int             // payload size for the send status
+
+	// Cached result once complete.
+	complete bool
+	st       mpi.Status
+	err      error
+}
+
+var _ mpi.Request = (*request)(nil)
+
+// completedRequest returns an already-finished request.
+func completedRequest(st mpi.Status, err error) *request {
+	return &request{complete: true, st: st, err: err, trackRank: -1}
+}
+
+func (r *request) Wait() (mpi.Status, error) {
+	if r.complete {
+		return r.st, r.err
+	}
+	if r.trackRank >= 0 {
+		r.w.state[r.trackRank].Store(1)
+		defer r.w.state[r.trackRank].Store(0)
+	}
+	switch {
+	case r.recvCh != nil:
+		select {
+		case res := <-r.recvCh:
+			r.st, r.err = res.st, res.err
+		case <-r.w.aborted:
+			r.st, r.err = mpi.Status{}, r.w.abortError()
+		}
+	case r.rdv != nil:
+		select {
+		case <-r.rdv.done:
+			r.st, r.err = mpi.Status{Count: r.sendN}, nil
+		case <-r.w.aborted:
+			r.st, r.err = mpi.Status{}, r.w.abortError()
+		}
+	}
+	r.complete = true
+	r.recvCh, r.rdv = nil, nil
+	return r.st, r.err
+}
+
+func (r *request) Done() bool {
+	if r.complete {
+		return true
+	}
+	switch {
+	case r.recvCh != nil:
+		select {
+		case res := <-r.recvCh:
+			r.st, r.err = res.st, res.err
+		default:
+			return false
+		}
+	case r.rdv != nil:
+		select {
+		case <-r.rdv.done:
+			r.st, r.err = mpi.Status{Count: r.sendN}, nil
+		default:
+			return false
+		}
+	}
+	r.complete = true
+	r.recvCh, r.rdv = nil, nil
+	return true
+}
+
+// isend starts a nonblocking send. It never blocks: if the eager credit
+// window is full (or the message is rendezvous-sized), the message is
+// enqueued as a zero-copy envelope backed by the caller's buffer — legal
+// because MPI forbids touching the buffer until the request completes —
+// and the request finishes when the receiver copies it out. Envelopes
+// enter the queue synchronously, preserving non-overtaking order.
+func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int) *request {
+	select {
+	case <-w.aborted:
+		return completedRequest(mpi.Status{}, w.abortError())
+	default:
+	}
+	ep := w.eps[dstWorld]
+	eager := len(buf) <= w.eagerLimit
+
+	ep.mu.Lock()
+	if pr := ep.matchPosted(ctx, srcRank, tag); pr != nil {
+		var n int
+		var err error
+		if eager {
+			staging := make([]byte, len(buf))
+			copy(staging, buf)
+			n, err = copyPayload(pr.buf, staging)
+		} else {
+			n, err = copyPayload(pr.buf, buf)
+		}
+		ep.mu.Unlock()
+		pr.done <- recvResult{st: mpi.Status{Source: srcRank, Tag: tag, Count: n}, err: err}
+		w.progress.Add(1)
+		return completedRequest(mpi.Status{Count: len(buf)}, nil)
+	}
+	if eager && (w.eagerCredits == 0 || ep.eagerBuffered[srcWorld] < w.eagerCredits) {
+		data := make([]byte, len(buf))
+		copy(data, buf)
+		ep.arrivals = append(ep.arrivals, &envelope{
+			ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, data: data,
+		})
+		ep.eagerBuffered[srcWorld]++
+		ep.mu.Unlock()
+		w.progress.Add(1)
+		return completedRequest(mpi.Status{Count: len(buf)}, nil)
+	}
+	// Zero-copy envelope: rendezvous-sized payloads, or eager overflow
+	// past the credit window (the pinned buffer substitutes for the
+	// buffering the receiver refused).
+	rdv := &rdvState{buf: buf, done: make(chan struct{})}
+	ep.arrivals = append(ep.arrivals, &envelope{
+		ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, rdv: rdv,
+	})
+	ep.mu.Unlock()
+	w.progress.Add(1)
+	return &request{w: w, trackRank: srcWorld, rdv: rdv, sendN: len(buf)}
+}
+
+// irecv posts a nonblocking receive. Posting happens synchronously (so a
+// rendezvous sender can match it immediately); the request completes when
+// a matching message is consumed.
+func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int) *request {
+	select {
+	case <-w.aborted:
+		return completedRequest(mpi.Status{}, w.abortError())
+	default:
+	}
+	ep := w.eps[myWorld]
+	ep.mu.Lock()
+	if env := ep.matchArrival(ctx, src, tag); env != nil {
+		if env.rdv != nil {
+			n, err := copyPayload(buf, env.rdv.buf)
+			ep.mu.Unlock()
+			close(env.rdv.done)
+			w.progress.Add(1)
+			return completedRequest(mpi.Status{Source: env.src, Tag: env.tag, Count: n}, err)
+		}
+		n, err := copyPayload(buf, env.data)
+		ep.releaseEagerCredit(env.srcWorld)
+		ep.mu.Unlock()
+		w.progress.Add(1)
+		return completedRequest(mpi.Status{Source: env.src, Tag: env.tag, Count: n}, err)
+	}
+	pr := &posted{ctx: ctx, src: src, tag: tag, buf: buf, done: make(chan recvResult, 1)}
+	ep.recvs = append(ep.recvs, pr)
+	ep.mu.Unlock()
+	return &request{w: w, trackRank: myWorld, recvCh: pr.done}
+}

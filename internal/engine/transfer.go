@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"repro/internal/mpi"
+)
+
+// send implements the blocking send. srcRank is the sender's rank within
+// the ctx communicator (carried in the envelope for matching), dstWorld
+// the destination's world rank. track controls whether the sender's rank
+// state is marked blocked while waiting (true for top-level Send on the
+// rank's own goroutine; false for the spawned half of a Sendrecv, whose
+// blocking is accounted by the Sendrecv wrapper).
+func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, track bool) error {
+	ep := w.eps[dstWorld]
+	eager := len(buf) <= w.eagerLimit
+
+	for {
+		select {
+		case <-w.aborted:
+			return w.abortError()
+		default:
+		}
+		ep.mu.Lock()
+		if pr := ep.matchPosted(ctx, srcRank, tag); pr != nil {
+			// A receive is already waiting. Rendezvous delivers with a
+			// single direct copy (the LMT path); eager still pays the
+			// staging copy like MPICH's shared-memory cells do, so the
+			// protocol's cost does not depend on receive timing.
+			var n int
+			var err error
+			if eager {
+				staging := make([]byte, len(buf))
+				copy(staging, buf)
+				n, err = copyPayload(pr.buf, staging)
+			} else {
+				n, err = copyPayload(pr.buf, buf)
+			}
+			ep.mu.Unlock()
+			pr.done <- recvResult{st: mpi.Status{Source: srcRank, Tag: tag, Count: n}, err: err}
+			w.progress.Add(1)
+			return nil
+		}
+		if !eager {
+			break // fall through to rendezvous below, still holding the lock
+		}
+		if w.eagerCredits == 0 || ep.eagerBuffered[srcWorld] < w.eagerCredits {
+			// Eager within the credit window: the engine takes a copy and
+			// the send completes immediately. (The receive-side staging
+			// copy this implies is charged by internal/netsim in
+			// simulated time.)
+			data := make([]byte, len(buf))
+			copy(data, buf)
+			ep.arrivals = append(ep.arrivals, &envelope{
+				ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, data: data,
+			})
+			ep.eagerBuffered[srcWorld]++
+			ep.mu.Unlock()
+			w.progress.Add(1)
+			return nil
+		}
+		// Flow control: the receiver holds a full window of our eager
+		// messages. Block until it drains one, then retry the whole
+		// matching sequence (a receive may have been posted meanwhile).
+		wait := make(chan struct{})
+		ep.creditWait[srcWorld] = wait
+		ep.mu.Unlock()
+		if track {
+			w.state[srcWorld].Store(1)
+		}
+		select {
+		case <-wait:
+		case <-w.aborted:
+			if track {
+				w.state[srcWorld].Store(0)
+			}
+			return w.abortError()
+		}
+		if track {
+			w.state[srcWorld].Store(0)
+		}
+	}
+
+	// Rendezvous: enqueue a handle to the sender's buffer and block until
+	// the receiver copies from it. ep.mu is held.
+	rdv := &rdvState{buf: buf, done: make(chan struct{})}
+	ep.arrivals = append(ep.arrivals, &envelope{
+		ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, rdv: rdv,
+	})
+	ep.mu.Unlock()
+	w.progress.Add(1)
+
+	if track {
+		w.state[srcWorld].Store(1)
+		defer w.state[srcWorld].Store(0)
+	}
+	select {
+	case <-rdv.done:
+		return nil
+	case <-w.aborted:
+		return w.abortError()
+	}
+}
+
+// recv implements the blocking receive for the rank whose world rank is
+// myWorld: an irecv followed by an immediate Wait. src and tag may be
+// wildcards. track marks the rank blocked while waiting (top-level
+// receives on the rank's goroutine).
+func (w *World) recv(ctx int64, myWorld int, buf []byte, src, tag int, track bool) (mpi.Status, error) {
+	r := w.irecv(ctx, myWorld, buf, src, tag)
+	if !track {
+		r.trackRank = -1
+	}
+	return r.Wait()
+}

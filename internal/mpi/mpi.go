@@ -1,0 +1,168 @@
+// Package mpi defines the MPI-like programming interface the reproduction
+// is written against.
+//
+// Go has no viable MPI bindings, so the paper's user-level broadcast
+// implementations are ported onto this minimal, faithful subset of the
+// MPI point-to-point API: blocking Send/Recv with (source, tag, context)
+// matching and wildcards, combined Sendrecv with concurrent halves, and
+// communicator Split. Two engines implement the interface:
+//
+//   - internal/engine: a real in-process runtime (one goroutine per rank,
+//     eager and rendezvous protocols, real buffer copies) used for
+//     correctness tests, user-level wall-clock benchmarks and the
+//     examples;
+//   - decorators such as internal/trace wrap any Comm to observe traffic.
+//
+// Buffer semantics follow MPI_BYTE transfers: payloads are byte slices,
+// a receive completes with the actual transferred count in Status, and a
+// payload longer than the receive buffer is a truncation error.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Wildcard and sentinel values, mirroring MPI_ANY_SOURCE, MPI_ANY_TAG and
+// MPI_UNDEFINED.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = -1
+	// AnyTag matches a message with any tag.
+	AnyTag = -2
+	// Undefined, passed as the color of Split, excludes the caller from
+	// every resulting communicator (Split returns a nil Comm).
+	Undefined = -32766
+)
+
+// MaxUserTag is the largest tag application code may use; larger tags are
+// reserved for the collective algorithms (see internal/core).
+const MaxUserTag = 0x7EFF
+
+// Status describes a completed receive, like MPI_Status.
+type Status struct {
+	// Source is the rank that sent the message (resolved even for
+	// AnySource receives).
+	Source int
+	// Tag is the message tag (resolved even for AnyTag receives).
+	Tag int
+	// Count is the number of payload bytes transferred.
+	Count int
+}
+
+// Sentinel errors. Engine errors wrap these so callers can use errors.Is.
+var (
+	// ErrTruncate reports a message longer than the posted receive buffer.
+	ErrTruncate = errors.New("message truncated")
+	// ErrRank reports a peer rank outside [0, Size).
+	ErrRank = errors.New("rank out of range")
+	// ErrTag reports an invalid tag (negative non-wildcard, or above
+	// MaxUserTag+reserved space).
+	ErrTag = errors.New("invalid tag")
+	// ErrAborted reports that the world was torn down (another rank
+	// failed, or deadlock was detected) while this operation was blocked.
+	ErrAborted = errors.New("world aborted")
+	// ErrDeadlock reports that the runtime detected a global deadlock:
+	// every live rank was blocked in a communication call with no
+	// progress possible.
+	ErrDeadlock = errors.New("deadlock detected")
+)
+
+// Request is a pending nonblocking operation, like MPI_Request.
+type Request interface {
+	// Wait blocks until the operation completes. For receives, the
+	// Status carries the resolved source, tag and byte count; for sends
+	// it reports the payload size. Wait is idempotent.
+	Wait() (Status, error)
+	// Done reports completion without blocking (MPI_Test).
+	Done() bool
+}
+
+// Comm is a communicator: an isolated message-passing context over a
+// fixed group of ranks, like MPI_Comm.
+//
+// All methods are called from the owning rank's goroutine. Implementations
+// must support concurrent use of distinct ranks' Comms, and the two halves
+// of Sendrecv must progress independently (a ring of Sendrecvs must not
+// deadlock).
+type Comm interface {
+	// Rank returns the caller's rank within this communicator.
+	Rank() int
+	// Size returns the number of ranks in this communicator.
+	Size() int
+
+	// Send delivers buf to rank `to` with the given tag, blocking until
+	// the buffer may be reused (eager copy taken, or rendezvous transfer
+	// complete).
+	Send(buf []byte, to, tag int) error
+	// Recv blocks until a matching message (from, tag; wildcards allowed)
+	// arrives and is copied into buf. The returned Status carries the
+	// resolved source, tag and byte count.
+	Recv(buf []byte, from, tag int) (Status, error)
+	// Sendrecv executes a send and a receive concurrently and returns
+	// when both complete, like MPI_Sendrecv.
+	Sendrecv(sendBuf []byte, to, sendTag int, recvBuf []byte, from, recvTag int) (Status, error)
+
+	// Isend starts a nonblocking send. The buffer must not be modified
+	// until the request completes. Messages between one (sender,
+	// receiver, tag) triple are non-overtaking in issue order.
+	Isend(buf []byte, to, tag int) (Request, error)
+	// Irecv posts a nonblocking receive; the buffer must not be read
+	// until the request completes.
+	Irecv(buf []byte, from, tag int) (Request, error)
+	// Iprobe reports, without consuming it, whether a message matching
+	// (from, tag; wildcards allowed) has arrived, and its envelope if so
+	// (MPI_Iprobe).
+	Iprobe(from, tag int) (Status, bool, error)
+
+	// Split partitions the communicator: ranks passing equal colors join
+	// a new communicator, ordered by (key, old rank). A color of
+	// Undefined yields a nil Comm. Split is collective: every rank of
+	// this communicator must call it.
+	Split(color, key int) (Comm, error)
+
+	// Topology returns the node placement of this communicator's ranks
+	// (indexed by communicator rank).
+	Topology() *topology.Map
+}
+
+// WaitAll waits for every request, returning the statuses and the first
+// error encountered (all requests are waited regardless, like
+// MPI_Waitall's error semantics).
+func WaitAll(reqs ...Request) ([]Status, error) {
+	sts := make([]Status, len(reqs))
+	var firstErr error
+	for i, r := range reqs {
+		st, err := r.Wait()
+		sts[i] = st
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return sts, firstErr
+}
+
+// CheckPeer validates a peer rank against a communicator size, allowing
+// wildcard when any is true.
+func CheckPeer(rank, size int, any bool) error {
+	if any && rank == AnySource {
+		return nil
+	}
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("%w: %d (size %d)", ErrRank, rank, size)
+	}
+	return nil
+}
+
+// CheckTag validates a tag, allowing the AnyTag wildcard when any is true.
+func CheckTag(tag int, any bool) error {
+	if any && tag == AnyTag {
+		return nil
+	}
+	if tag < 0 {
+		return fmt.Errorf("%w: %d", ErrTag, tag)
+	}
+	return nil
+}

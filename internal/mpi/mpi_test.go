@@ -1,0 +1,65 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCheckPeer(t *testing.T) {
+	if err := CheckPeer(0, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPeer(3, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPeer(4, 4, false); !errors.Is(err, ErrRank) {
+		t.Fatalf("want ErrRank, got %v", err)
+	}
+	if err := CheckPeer(-1, 4, false); !errors.Is(err, ErrRank) {
+		t.Fatalf("want ErrRank for AnySource without wildcard, got %v", err)
+	}
+	if err := CheckPeer(AnySource, 4, true); err != nil {
+		t.Fatalf("wildcard allowed: %v", err)
+	}
+	if err := CheckPeer(-7, 4, true); !errors.Is(err, ErrRank) {
+		t.Fatalf("arbitrary negative is not a wildcard: %v", err)
+	}
+}
+
+func TestCheckTag(t *testing.T) {
+	if err := CheckTag(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTag(12345, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTag(-1, false); !errors.Is(err, ErrTag) {
+		t.Fatalf("want ErrTag, got %v", err)
+	}
+	if err := CheckTag(AnyTag, true); err != nil {
+		t.Fatalf("wildcard allowed: %v", err)
+	}
+	if err := CheckTag(AnyTag, false); !errors.Is(err, ErrTag) {
+		t.Fatalf("AnyTag without wildcard: %v", err)
+	}
+}
+
+func TestSentinelsDistinct(t *testing.T) {
+	if AnySource == AnyTag || AnySource == Undefined || AnyTag == Undefined {
+		t.Fatal("sentinel values must be distinct")
+	}
+	if AnySource >= 0 || AnyTag >= 0 || Undefined >= 0 {
+		t.Fatal("sentinels must be negative (outside rank/tag space)")
+	}
+}
+
+func TestErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrTruncate, ErrRank, ErrTag, ErrAborted, ErrDeadlock}
+	for i, a := range errs {
+		for j, b := range errs {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("errors %v and %v alias", a, b)
+			}
+		}
+	}
+}

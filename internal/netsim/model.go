@@ -1,0 +1,174 @@
+// Package netsim predicts the completion time of communication schedules
+// on a modelled multi-core cluster. It substitutes for the paper's
+// evaluation platforms (Cray XC40 "Hornet", NEC "Laki"), which cannot be
+// reproduced directly from Go: the experiments' figures are regenerated
+// by replaying the schedules of internal/core against a deterministic
+// LogGP-style cost model with explicit contention.
+//
+// The model charges, per message:
+//
+//   - fixed per-message CPU overheads at sender and receiver;
+//   - intra-node transfers: memory copies through a per-node memory
+//     resource with a limited number of parallel channels (concurrent
+//     copies beyond that queue up) — eager messages cost two copies
+//     (staging in, copy out), rendezvous messages one;
+//   - inter-node transfers: serialization through the source node's NIC
+//     injection resource, wire latency, and the destination node's NIC
+//     extraction resource — concurrent messages through one NIC queue up,
+//     which is exactly the "quantity of data transmission [negatively
+//     influencing] the network environment" effect the paper argues the
+//     tuned ring relieves;
+//   - rendezvous handshake: one request/acknowledge latency round trip
+//     before the payload moves;
+//   - cache capacity: when a node's working set (per-rank buffer times
+//     ranks on the node) exceeds the last-level cache, its memory
+//     bandwidth degrades — reproducing the bandwidth drop the paper
+//     attributes to "limited memory capacity" (Figure 6(a) beyond ~4 MB)
+//     and "cache effects" (Figure 6(c) around 3 MB).
+//
+// Because the simulator replays explicit per-rank schedules with data
+// dependencies, pipelining emerges naturally: in the paper's measurement
+// loop (100 back-to-back broadcasts) the tuned ring lets the root start
+// the next iteration long before the ring wavefront drains, which is the
+// mechanism behind the large small-message throughput gains of Figure 7.
+package netsim
+
+import "fmt"
+
+// Model holds the cluster cost parameters. All times are in seconds, all
+// bandwidths in bytes per second.
+type Model struct {
+	// Name identifies the calibration (e.g. "hornet").
+	Name string
+
+	// SendOverhead and RecvOverhead are fixed per-message CPU costs.
+	SendOverhead float64
+	RecvOverhead float64
+
+	// IntraLatency is the one-way latency of an intra-node transfer
+	// (shared-memory handoff).
+	IntraLatency float64
+	// IntraBandwidth is the memcpy bandwidth of one copy stream.
+	IntraBandwidth float64
+	// MemChannels is how many copy streams a node sustains concurrently
+	// before they queue (memory-controller parallelism).
+	MemChannels int
+
+	// InterLatency is the one-way network latency between nodes.
+	InterLatency float64
+	// InterBandwidth is the NIC injection/extraction bandwidth.
+	InterBandwidth float64
+
+	// EagerLimit is the eager/rendezvous protocol threshold in bytes
+	// (larger messages pay the handshake but skip the staging copy).
+	EagerLimit int
+
+	// EagerCredits bounds the eager messages buffered but not yet
+	// received on one (sender, receiver, tag) channel — finite
+	// unexpected-buffer space with credit-based flow control, as real
+	// MPI transports implement. A sender that exhausts the window blocks
+	// until the receiver drains a message. Zero means unlimited. This is
+	// the knob behind Figure 7's shape: pipelined back-to-back broadcasts
+	// let the tuned root race ahead only while the ring's step count
+	// stays within the credit window, so the small-message speedup
+	// collapses between 33 and 65 processes.
+	EagerCredits int
+
+	// CacheBytes is the per-node last-level cache capacity; CacheFactor
+	// scales IntraBandwidth down once the node's working set exceeds it.
+	// CacheBytes <= 0 disables the effect.
+	CacheBytes  int
+	CacheFactor float64
+
+	// NoContention disables NIC and memory-channel serialization
+	// (infinite parallel resources) — the ablation knob showing that the
+	// tuned ring's advantage is a contention effect.
+	NoContention bool
+}
+
+// Validate checks the parameters are usable.
+func (m *Model) Validate() error {
+	if m.IntraBandwidth <= 0 || m.InterBandwidth <= 0 {
+		return fmt.Errorf("netsim: model %q: bandwidths must be positive", m.Name)
+	}
+	if m.MemChannels <= 0 {
+		return fmt.Errorf("netsim: model %q: MemChannels must be positive", m.Name)
+	}
+	if m.SendOverhead < 0 || m.RecvOverhead < 0 || m.IntraLatency < 0 || m.InterLatency < 0 {
+		return fmt.Errorf("netsim: model %q: negative latency/overhead", m.Name)
+	}
+	if m.CacheBytes > 0 && (m.CacheFactor <= 0 || m.CacheFactor > 1) {
+		return fmt.Errorf("netsim: model %q: CacheFactor must be in (0,1]", m.Name)
+	}
+	if m.EagerCredits < 0 {
+		return fmt.Errorf("netsim: model %q: EagerCredits must be >= 0", m.Name)
+	}
+	return nil
+}
+
+const (
+	us = 1e-6
+	// GiBps converts GiB/s to bytes/s.
+	gib = float64(1 << 30)
+)
+
+// Hornet returns the Cray XC40 calibration: dual 12-core Haswell
+// E5-2680v3 nodes (24 cores, 30 MiB L3) on an Aries dragonfly
+// interconnect. Values are chosen so the simulated absolute bandwidths
+// land in the paper's measured range (hundreds to ~2700 MiB/s) — the
+// reproduction targets curve shapes, not testbed-exact constants.
+func Hornet() *Model {
+	return &Model{
+		Name:           "hornet",
+		SendOverhead:   0.30 * us,
+		RecvOverhead:   0.30 * us,
+		IntraLatency:   0.30 * us,
+		IntraBandwidth: 8.5 * gib,
+		MemChannels:    6,
+		InterLatency:   1.30 * us,
+		InterBandwidth: 2.5 * gib, // effective per-NIC share under full-node load
+		EagerLimit:     8192,      // Cray MPI's default eager cutoff region
+		EagerCredits:   48,        // unexpected-buffer window per channel
+		CacheBytes:     60 << 20,  // buffers + staging working set per node
+		CacheFactor:    0.60,
+	}
+}
+
+// Laki returns the NEC cluster calibration: dual 4-core Nehalem X5560
+// nodes (8 MiB L3) on switched InfiniBand — slower NICs and fewer memory
+// channels than Hornet. The paper reports "the same bandwidth performance
+// trend" there; the second calibration exists to demonstrate exactly
+// that.
+func Laki() *Model {
+	return &Model{
+		Name:           "laki",
+		SendOverhead:   0.60 * us,
+		RecvOverhead:   0.60 * us,
+		IntraLatency:   0.45 * us,
+		IntraBandwidth: 3.2 * gib,
+		MemChannels:    3,
+		InterLatency:   1.90 * us,
+		InterBandwidth: 3.0 * gib,
+		EagerLimit:     12288,
+		EagerCredits:   32,
+		CacheBytes:     8 << 20,
+		CacheFactor:    0.55,
+	}
+}
+
+// effectiveIntraBW returns the node's memory bandwidth given its working
+// set (cache degradation applied beyond capacity).
+func (m *Model) effectiveIntraBW(workingSet int) float64 {
+	if m.CacheBytes > 0 && workingSet > m.CacheBytes {
+		return m.IntraBandwidth * m.CacheFactor
+	}
+	return m.IntraBandwidth
+}
+
+// copyTime is the duration of one n-byte memory copy at bandwidth bw.
+func copyTime(n int, bw float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) / bw
+}

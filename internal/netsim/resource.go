@@ -1,0 +1,41 @@
+package netsim
+
+// resource models a server pool with k parallel slots: a request at time
+// t for duration d starts at max(t, earliest slot availability) and
+// occupies that slot until start+d. With k = 1 it is a FIFO link (a NIC
+// direction); with k > 1 it models memory-controller channel parallelism.
+// Requests are served in the order they are issued, which the simulator
+// keeps aligned with virtual time by executing events in time order.
+type resource struct {
+	slots []float64 // availability time per slot
+	// unlimited short-circuits contention (ablation mode).
+	unlimited bool
+	// busy accumulates total occupied time for utilization reporting.
+	busy float64
+}
+
+func newResource(k int, unlimited bool) *resource {
+	return &resource{slots: make([]float64, k), unlimited: unlimited}
+}
+
+// acquire reserves a slot from time at for duration dur, returning the
+// actual start and end times.
+func (r *resource) acquire(at, dur float64) (start, end float64) {
+	r.busy += dur
+	if r.unlimited {
+		return at, at + dur
+	}
+	best := 0
+	for i := 1; i < len(r.slots); i++ {
+		if r.slots[i] < r.slots[best] {
+			best = i
+		}
+	}
+	start = at
+	if r.slots[best] > start {
+		start = r.slots[best]
+	}
+	end = start + dur
+	r.slots[best] = end
+	return start, end
+}

@@ -1,0 +1,473 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Result reports a simulated schedule execution.
+type Result struct {
+	// Finish is each rank's completion time in seconds.
+	Finish []float64
+	// Makespan is the time the last rank finishes.
+	Makespan float64
+	// Messages counts simulated transfers; InterMessages those that
+	// crossed nodes.
+	Messages      int
+	InterMessages int
+	// NICBusy and MemBusy are total resource occupancy in seconds,
+	// summed over nodes (utilization diagnostics).
+	NICBusy float64
+	MemBusy float64
+}
+
+type chanKey struct{ src, dst, tag int }
+
+// simMsg is one in-flight message in a channel queue.
+type simMsg struct {
+	n     int
+	eager bool
+	// injected reports whether an eager payload has entered the
+	// transport (false while the sender is credit-blocked).
+	injected bool
+	// ready is when an eager payload is available at the receiver.
+	ready float64
+	// senderReach is when the sender posted the message (rendezvous
+	// start, or the time a credit-blocked eager sender arrived).
+	senderReach float64
+	sender      int
+}
+
+type channel struct {
+	msgs []*simMsg
+	head int
+	// buffered counts eager messages injected but not yet consumed —
+	// the occupied credit window.
+	buffered int
+	// pending is the index of a credit-blocked eager message (-1 if
+	// none). At most one can exist: its sender is blocked.
+	pending int
+}
+
+// Rank phases.
+const (
+	phasePending = iota // activation event queued
+	phaseActive         // waiting for op halves to resolve
+	phaseDone
+)
+
+type rankState struct {
+	pc    int
+	t     float64
+	phase int
+	ver   int64 // invalidates stale heap entries
+
+	hasSend, hasRecv bool
+	sendResolved     bool
+	sendDone         float64
+	recvResolved     bool
+	recvDone         float64
+}
+
+// Event kinds.
+const (
+	evActivate = iota
+	evConsume
+)
+
+type event struct {
+	t    float64
+	seq  int64
+	rank int
+	kind int
+	ver  int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type sim struct {
+	pr    *sched.Program
+	topo  *topology.Map
+	m     *Model
+	ranks []rankState
+	chans map[chanKey]*channel
+
+	nicIn  []*resource // per-node injection
+	nicOut []*resource // per-node extraction
+	mem    []*resource // per-node memory channels
+	memBW  []float64   // effective per-node copy bandwidth
+
+	h      eventHeap
+	seq    int64
+	result Result
+}
+
+// Simulate replays the program on the modelled cluster and returns the
+// predicted timing. The topology must have exactly pr.P ranks.
+func Simulate(pr *sched.Program, topo *topology.Map, m *Model) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if topo.NP() != pr.P {
+		return nil, fmt.Errorf("netsim: topology has %d ranks, program %d", topo.NP(), pr.P)
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		pr:    pr,
+		topo:  topo,
+		m:     m,
+		ranks: make([]rankState, pr.P),
+		chans: map[chanKey]*channel{},
+		memBW: make([]float64, topo.NumNodes()),
+	}
+	for node := 0; node < topo.NumNodes(); node++ {
+		s.nicIn = append(s.nicIn, newResource(1, m.NoContention))
+		s.nicOut = append(s.nicOut, newResource(1, m.NoContention))
+		s.mem = append(s.mem, newResource(m.MemChannels, m.NoContention))
+		workingSet := pr.N * len(topo.RanksOnNode(node))
+		s.memBW[node] = m.effectiveIntraBW(workingSet)
+	}
+	for r := 0; r < pr.P; r++ {
+		if len(pr.Ranks[r]) == 0 {
+			s.ranks[r].phase = phaseDone
+			continue
+		}
+		s.push(0, r, evActivate, s.ranks[r].ver)
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	s.result.Finish = make([]float64, pr.P)
+	for r := range s.ranks {
+		s.result.Finish[r] = s.ranks[r].t
+		if s.ranks[r].t > s.result.Makespan {
+			s.result.Makespan = s.ranks[r].t
+		}
+	}
+	for node := 0; node < topo.NumNodes(); node++ {
+		s.result.NICBusy += s.nicIn[node].busy + s.nicOut[node].busy
+		s.result.MemBusy += s.mem[node].busy
+	}
+	return &s.result, nil
+}
+
+func (s *sim) push(t float64, rank, kind int, ver int64) {
+	s.seq++
+	heap.Push(&s.h, event{t: t, seq: s.seq, rank: rank, kind: kind, ver: ver})
+}
+
+func (s *sim) chanOf(src, dst, tag int) *channel {
+	k := chanKey{src, dst, tag}
+	ch := s.chans[k]
+	if ch == nil {
+		ch = &channel{pending: -1}
+		s.chans[k] = ch
+	}
+	return ch
+}
+
+func (s *sim) run() error {
+	for s.h.Len() > 0 {
+		ev := heap.Pop(&s.h).(event)
+		st := &s.ranks[ev.rank]
+		if ev.ver != st.ver {
+			continue // stale
+		}
+		switch ev.kind {
+		case evActivate:
+			s.activate(ev.rank)
+		case evConsume:
+			s.consume(ev.rank)
+		}
+	}
+	for r := range s.ranks {
+		if s.ranks[r].phase != phaseDone {
+			return fmt.Errorf("netsim: rank %d stalled at op %d of %q (simulation deadlock)",
+				r, s.ranks[r].pc, s.pr.Name)
+		}
+	}
+	return nil
+}
+
+// activate begins the rank's current op: issue the send half (if any) and
+// start waiting on the receive half (if any).
+func (s *sim) activate(r int) {
+	st := &s.ranks[r]
+	op := s.pr.Ranks[r][st.pc]
+	st.phase = phaseActive
+	st.hasSend = op.Kind == sched.OpSend || op.Kind == sched.OpSendrecv
+	st.hasRecv = op.Kind == sched.OpRecv || op.Kind == sched.OpSendrecv
+	st.sendResolved, st.recvResolved = false, false
+
+	if st.hasSend {
+		s.issueSend(r, op)
+	}
+	if st.hasRecv {
+		s.evaluateRecv(r, op)
+	}
+	s.tryComplete(r)
+}
+
+// issueSend posts the send half of op at the rank's current time.
+func (s *sim) issueSend(r int, op sched.Op) {
+	st := &s.ranks[r]
+	now := st.t
+	ch := s.chanOf(r, op.To, op.Tag)
+	srcNode := s.topo.NodeOf(r)
+	dstNode := s.topo.NodeOf(op.To)
+	inter := srcNode != dstNode
+	s.result.Messages++
+	if inter {
+		s.result.InterMessages++
+	}
+
+	n := op.SendLen
+	if n <= s.m.EagerLimit {
+		msg := &simMsg{n: n, eager: true, senderReach: now + s.m.SendOverhead, sender: r}
+		ch.msgs = append(ch.msgs, msg)
+		if s.m.EagerCredits > 0 && ch.buffered >= s.m.EagerCredits {
+			// Credit window exhausted: the sender blocks until the
+			// receiver drains a message (flow control). consume()
+			// performs the deferred injection.
+			ch.pending = len(ch.msgs) - 1
+		} else {
+			s.injectEager(ch, msg, op.To)
+		}
+	} else {
+		// Rendezvous: register and block until the receiver resolves it.
+		ch.msgs = append(ch.msgs, &simMsg{n: n, eager: false, senderReach: now + s.m.SendOverhead, sender: r})
+	}
+	s.wakeReceiver(op.To, r, op.Tag)
+}
+
+// injectEager moves an eager payload into the transport at
+// msg.senderReach (or later) and resolves the sender's send half.
+func (s *sim) injectEager(ch *channel, msg *simMsg, dst int) {
+	srcNode := s.topo.NodeOf(msg.sender)
+	dstNode := s.topo.NodeOf(dst)
+	var sendDone, ready float64
+	if srcNode != dstNode {
+		_, injEnd := s.nicIn[srcNode].acquire(msg.senderReach, copyTime(msg.n, s.m.InterBandwidth))
+		sendDone = injEnd
+		arrival := injEnd + s.m.InterLatency
+		_, extEnd := s.nicOut[dstNode].acquire(arrival, copyTime(msg.n, s.m.InterBandwidth))
+		ready = extEnd
+	} else {
+		_, cpEnd := s.mem[srcNode].acquire(msg.senderReach, copyTime(msg.n, s.memBW[srcNode]))
+		sendDone = cpEnd
+		ready = cpEnd + s.m.IntraLatency
+	}
+	msg.injected = true
+	msg.ready = ready
+	ch.buffered++
+	ss := &s.ranks[msg.sender]
+	ss.sendResolved = true
+	ss.sendDone = sendDone
+	s.tryComplete(msg.sender)
+}
+
+// wakeReceiver re-evaluates dst's receive half if it is currently waiting
+// on the (src, tag) channel.
+func (s *sim) wakeReceiver(dst, src, tag int) {
+	st := &s.ranks[dst]
+	if st.phase != phaseActive || !st.hasRecv || st.recvResolved {
+		return
+	}
+	op := s.pr.Ranks[dst][st.pc]
+	if op.From != src || op.Tag != tag {
+		return
+	}
+	s.evaluateRecv(dst, op)
+}
+
+// evaluateRecv pushes a consume event if the head message of the matching
+// channel is available.
+func (s *sim) evaluateRecv(r int, op sched.Op) {
+	st := &s.ranks[r]
+	ch := s.chanOf(op.From, r, op.Tag)
+	if ch.head >= len(ch.msgs) {
+		return // nothing yet; a future issueSend will wake us
+	}
+	msg := ch.msgs[ch.head]
+	t := st.t
+	if msg.eager {
+		if !msg.injected {
+			return // credit-blocked; injection will re-evaluate
+		}
+		if msg.ready > t {
+			t = msg.ready
+		}
+	} else if msg.senderReach > t {
+		t = msg.senderReach
+	}
+	st.ver++
+	s.push(t, r, evConsume, st.ver)
+}
+
+// consume executes the receive half against the head message.
+func (s *sim) consume(r int) {
+	st := &s.ranks[r]
+	if st.phase != phaseActive || !st.hasRecv || st.recvResolved {
+		return
+	}
+	op := s.pr.Ranks[r][st.pc]
+	ch := s.chanOf(op.From, r, op.Tag)
+	if ch.head >= len(ch.msgs) {
+		return
+	}
+	msg := ch.msgs[ch.head]
+	if msg.eager && !msg.injected {
+		return // stale event racing a credit block
+	}
+	ch.head++
+	dstNode := s.topo.NodeOf(r)
+
+	if msg.eager {
+		// Copy out of the staging buffer (the eager double-copy).
+		start := st.t
+		if msg.ready > start {
+			start = msg.ready
+		}
+		_, cpEnd := s.mem[dstNode].acquire(start, copyTime(msg.n, s.memBW[dstNode]))
+		st.recvResolved = true
+		st.recvDone = cpEnd + s.m.RecvOverhead
+		ch.buffered--
+		// The freed credit admits a blocked sender, no earlier than the
+		// moment the buffer slot is actually released.
+		if ch.pending >= 0 && (s.m.EagerCredits == 0 || ch.buffered < s.m.EagerCredits) {
+			p := ch.msgs[ch.pending]
+			if cpEnd > p.senderReach {
+				p.senderReach = cpEnd
+			}
+			ch.pending = -1
+			s.injectEager(ch, p, r)
+		}
+		s.tryComplete(r)
+		return
+	}
+
+	// Rendezvous: handshake, then a single transfer; resolve the sender.
+	sender := msg.sender
+	srcNode := s.topo.NodeOf(sender)
+	inter := srcNode != dstNode
+	lat := s.m.IntraLatency
+	if inter {
+		lat = s.m.InterLatency
+	}
+	// Request/acknowledge round trip from when both sides are ready.
+	hs := msg.senderReach + lat
+	if st.t > hs {
+		hs = st.t
+	}
+	start := hs + lat
+
+	var senderDone, recvDone float64
+	if inter {
+		_, injEnd := s.nicIn[srcNode].acquire(start, copyTime(msg.n, s.m.InterBandwidth))
+		arrival := injEnd + s.m.InterLatency
+		_, extEnd := s.nicOut[dstNode].acquire(arrival, copyTime(msg.n, s.m.InterBandwidth))
+		senderDone = injEnd
+		recvDone = extEnd + s.m.RecvOverhead
+	} else {
+		_, cpEnd := s.mem[dstNode].acquire(start, copyTime(msg.n, s.memBW[dstNode]))
+		senderDone = cpEnd
+		recvDone = cpEnd + s.m.RecvOverhead
+	}
+
+	st.recvResolved = true
+	st.recvDone = recvDone
+
+	ss := &s.ranks[sender]
+	ss.sendResolved = true
+	ss.sendDone = senderDone
+
+	s.tryComplete(r)
+	s.tryComplete(sender)
+}
+
+// tryComplete finishes the rank's current op once every half is resolved,
+// advancing its clock and scheduling the next activation.
+func (s *sim) tryComplete(r int) {
+	st := &s.ranks[r]
+	if st.phase != phaseActive {
+		return
+	}
+	if st.hasSend && !st.sendResolved {
+		return
+	}
+	if st.hasRecv && !st.recvResolved {
+		return
+	}
+	newT := st.t
+	if st.hasSend && st.sendDone > newT {
+		newT = st.sendDone
+	}
+	if st.hasRecv && st.recvDone > newT {
+		newT = st.recvDone
+	}
+	st.t = newT
+	st.pc++
+	st.ver++
+	if st.pc >= len(s.pr.Ranks[r]) {
+		st.phase = phaseDone
+		return
+	}
+	st.phase = phasePending
+	s.push(st.t, r, evActivate, st.ver)
+}
+
+// Replicate concatenates the program with itself k times — the paper's
+// back-to-back measurement loop ("repeat the broadcast operation for 100
+// iterations"), which lets consecutive broadcasts pipeline through ranks
+// that finish their part early.
+func Replicate(pr *sched.Program, k int) *sched.Program {
+	out := sched.New(fmt.Sprintf("%s x%d", pr.Name, k), pr.P, pr.N, pr.Root)
+	for r := 0; r < pr.P; r++ {
+		for i := 0; i < k; i++ {
+			out.Ranks[r] = append(out.Ranks[r], pr.Ranks[r]...)
+		}
+	}
+	return out
+}
+
+// SteadyStateIterTime returns the marginal per-iteration time of the
+// program in a back-to-back loop: simulate warm and total iterations and
+// divide the extra time by the extra iterations. This mirrors the paper's
+// bandwidth metric (time per broadcast in a 100-iteration loop) while
+// keeping simulations short.
+func SteadyStateIterTime(pr *sched.Program, topo *topology.Map, m *Model, warm, total int) (float64, error) {
+	if warm < 1 || total <= warm {
+		return 0, fmt.Errorf("netsim: need 1 <= warm < total, got %d, %d", warm, total)
+	}
+	r1, err := Simulate(Replicate(pr, warm), topo, m)
+	if err != nil {
+		return 0, err
+	}
+	r2, err := Simulate(Replicate(pr, total), topo, m)
+	if err != nil {
+		return 0, err
+	}
+	return (r2.Makespan - r1.Makespan) / float64(total-warm), nil
+}

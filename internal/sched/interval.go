@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is a half-open byte range [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Len returns the interval length (zero for empty or inverted intervals).
+func (iv Interval) Len() int {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// IntervalSet is a normalized set of disjoint, sorted, non-adjacent
+// half-open intervals. It tracks which byte ranges of the collective
+// buffer a rank holds valid data for; the schedule verifier uses it to
+// prove that no operation ever forwards bytes the sender does not own.
+//
+// The zero value is an empty set ready for use.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+// NewIntervalSet returns a set containing the given intervals.
+func NewIntervalSet(ivs ...Interval) *IntervalSet {
+	s := &IntervalSet{}
+	for _, iv := range ivs {
+		s.Add(iv.Lo, iv.Hi)
+	}
+	return s
+}
+
+// Add inserts [lo, hi) into the set, merging with overlapping or adjacent
+// intervals. Empty ranges are ignored.
+func (s *IntervalSet) Add(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	// Find insertion window: all intervals overlapping or adjacent to [lo,hi).
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi >= lo })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].Lo <= hi {
+		j++
+	}
+	if i < j {
+		if s.ivs[i].Lo < lo {
+			lo = s.ivs[i].Lo
+		}
+		if s.ivs[j-1].Hi > hi {
+			hi = s.ivs[j-1].Hi
+		}
+	}
+	merged := append(s.ivs[:i:i], Interval{lo, hi})
+	s.ivs = append(merged, s.ivs[j:]...)
+}
+
+// Contains reports whether the whole range [lo, hi) is in the set.
+// Empty ranges are trivially contained.
+func (s *IntervalSet) Contains(lo, hi int) bool {
+	if hi <= lo {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(k int) bool { return s.ivs[k].Hi > lo })
+	return i < len(s.ivs) && s.ivs[i].Lo <= lo && hi <= s.ivs[i].Hi
+}
+
+// ContainsPoint reports whether byte offset x is in the set.
+func (s *IntervalSet) ContainsPoint(x int) bool { return s.Contains(x, x+1) }
+
+// Total returns the total number of bytes covered.
+func (s *IntervalSet) Total() int {
+	t := 0
+	for _, iv := range s.ivs {
+		t += iv.Len()
+	}
+	return t
+}
+
+// Intervals returns a copy of the normalized interval list.
+func (s *IntervalSet) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *IntervalSet) Clone() *IntervalSet {
+	return &IntervalSet{ivs: s.Intervals()}
+}
+
+// Equal reports whether two sets cover exactly the same bytes.
+func (s *IntervalSet) Equal(o *IntervalSet) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set like "{[0,4) [8,12)}".
+func (s *IntervalSet) String() string {
+	if len(s.ivs) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,42 @@
+package sched
+
+import "fmt"
+
+// Relabel returns a copy of the program with every rank renamed through
+// perm: virtual rank v becomes actual rank perm[v]. perm must be a
+// permutation of [0, P).
+//
+// Chunk offsets are untouched — the scatter-allgather algorithms index
+// chunks by *relative position in the ring*, not by rank identity, and
+// every rank ends up with the whole buffer, so any consistent relabeling
+// preserves correctness (the verifier re-proves it). Relabeling is how
+// the node-aware ring extension maps a virtually contiguous ring onto a
+// placement so that node boundaries are crossed only NumNodes times.
+func Relabel(pr *Program, perm []int) (*Program, error) {
+	if len(perm) != pr.P {
+		return nil, fmt.Errorf("sched: relabel: perm has %d entries, program %d ranks", len(perm), pr.P)
+	}
+	seen := make([]bool, pr.P)
+	for v, a := range perm {
+		if a < 0 || a >= pr.P || seen[a] {
+			return nil, fmt.Errorf("sched: relabel: perm[%d]=%d is not a permutation", v, a)
+		}
+		seen[a] = true
+	}
+	out := New(pr.Name+"-relabelled", pr.P, pr.N, perm[pr.Root])
+	for v := 0; v < pr.P; v++ {
+		actual := perm[v]
+		ops := make([]Op, len(pr.Ranks[v]))
+		copy(ops, pr.Ranks[v])
+		for i := range ops {
+			if ops[i].Kind == OpSend || ops[i].Kind == OpSendrecv {
+				ops[i].To = perm[ops[i].To]
+			}
+			if ops[i].Kind == OpRecv || ops[i].Kind == OpSendrecv {
+				ops[i].From = perm[ops[i].From]
+			}
+		}
+		out.Ranks[actual] = ops
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package sched
+
+import "testing"
+
+func TestRelabelPingPong(t *testing.T) {
+	pr := pingPong() // rank 0 <-> rank 1
+	out, err := Relabel(pr, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Root != 1 {
+		t.Fatalf("root = %d want 1", out.Root)
+	}
+	// Virtual rank 0's ops now live on actual rank 1, pointed at rank 0.
+	ops := out.OpsOf(1)
+	if len(ops) != 2 || ops[0].Kind != OpSend || ops[0].To != 0 {
+		t.Fatalf("relabelled ops: %v", ops)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	pr := pingPong()
+	out, err := Relabel(pr, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		a, b := pr.OpsOf(r), out.OpsOf(r)
+		if len(a) != len(b) {
+			t.Fatalf("rank %d op counts differ", r)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rank %d op %d: %v != %v", r, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRelabelDoesNotMutateOriginal(t *testing.T) {
+	pr := pingPong()
+	before := pr.OpsOf(0)[0]
+	if _, err := Relabel(pr, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if pr.OpsOf(0)[0] != before || pr.Root != 0 {
+		t.Fatal("Relabel mutated its input")
+	}
+}
+
+func TestRelabelValidation(t *testing.T) {
+	pr := pingPong()
+	if _, err := Relabel(pr, []int{0}); err == nil {
+		t.Fatal("short perm must fail")
+	}
+	if _, err := Relabel(pr, []int{0, 0}); err == nil {
+		t.Fatal("non-permutation must fail")
+	}
+	if _, err := Relabel(pr, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range perm must fail")
+	}
+}
+
+func TestRelabelPreservesStats(t *testing.T) {
+	pr := pingPong()
+	out, err := Relabel(pr, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Stats() != out.Stats() {
+		t.Fatalf("stats changed: %+v vs %+v", pr.Stats(), out.Stats())
+	}
+}

@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// pingPong builds a 2-rank program: 0 sends [0,4) to 1, 1 sends [4,8) back.
+func pingPong() *Program {
+	pr := New("ping-pong", 2, 8, 0)
+	pr.Add(0, Op{Kind: OpSend, To: 1, SendOff: 0, SendLen: 4, Tag: 1, Step: 1})
+	pr.Add(0, Op{Kind: OpRecv, From: 1, RecvOff: 4, RecvLen: 4, Tag: 2, Step: 2})
+	pr.Add(1, Op{Kind: OpRecv, From: 0, RecvOff: 0, RecvLen: 4, Tag: 1, Step: 1})
+	pr.Add(1, Op{Kind: OpSend, To: 0, SendOff: 4, SendLen: 4, Tag: 2, Step: 2})
+	return pr
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := pingPong().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsUnmatchedSend(t *testing.T) {
+	pr := pingPong()
+	pr.Add(0, Op{Kind: OpSend, To: 1, SendOff: 0, SendLen: 1, Tag: 9})
+	if err := pr.Validate(); err == nil {
+		t.Fatal("expected error for send without recv")
+	}
+}
+
+func TestValidateDetectsUnmatchedRecv(t *testing.T) {
+	pr := pingPong()
+	pr.Add(1, Op{Kind: OpRecv, From: 0, RecvOff: 0, RecvLen: 1, Tag: 9})
+	if err := pr.Validate(); err == nil {
+		t.Fatal("expected error for recv without send")
+	}
+}
+
+func TestValidateDetectsLengthMismatch(t *testing.T) {
+	pr := New("mismatch", 2, 8, 0)
+	pr.Add(0, Op{Kind: OpSend, To: 1, SendOff: 0, SendLen: 4, Tag: 1})
+	pr.Add(1, Op{Kind: OpRecv, From: 0, RecvOff: 0, RecvLen: 3, Tag: 1})
+	if err := pr.Validate(); err == nil || !strings.Contains(err.Error(), "send 4 bytes, recv 3 bytes") {
+		t.Fatalf("want length mismatch error, got %v", err)
+	}
+}
+
+func TestValidateDetectsSelfSend(t *testing.T) {
+	pr := New("self", 2, 8, 0)
+	pr.Add(0, Op{Kind: OpSend, To: 0, SendLen: 1, Tag: 1})
+	if err := pr.Validate(); err == nil {
+		t.Fatal("expected self-send error")
+	}
+}
+
+func TestValidateDetectsOutOfRangeRank(t *testing.T) {
+	pr := New("range", 2, 8, 0)
+	pr.Add(0, Op{Kind: OpSend, To: 5, SendLen: 1, Tag: 1})
+	if err := pr.Validate(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestValidateDetectsBufferOverrun(t *testing.T) {
+	pr := New("overrun", 2, 8, 0)
+	pr.Add(0, Op{Kind: OpSend, To: 1, SendOff: 6, SendLen: 4, Tag: 1})
+	pr.Add(1, Op{Kind: OpRecv, From: 0, RecvOff: 0, RecvLen: 4, Tag: 1})
+	if err := pr.Validate(); err == nil {
+		t.Fatal("expected buffer overrun error")
+	}
+}
+
+func TestValidateDetectsBadRoot(t *testing.T) {
+	pr := New("badroot", 2, 8, 5)
+	if err := pr.Validate(); err == nil {
+		t.Fatal("expected root range error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	pr := pingPong()
+	s := pr.Stats()
+	if s.Messages != 2 || s.NonEmptyMessages != 2 || s.Bytes != 8 || s.MaxStep != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if pr.Messages() != 2 || pr.Bytes() != 8 {
+		t.Fatalf("convenience accessors wrong: %d msgs %d bytes", pr.Messages(), pr.Bytes())
+	}
+}
+
+func TestStatsCountsSendrecvOnceAndEmpties(t *testing.T) {
+	pr := New("sr", 2, 8, 0)
+	pr.Add(0, Op{Kind: OpSendrecv, To: 1, SendOff: 0, SendLen: 0, From: 1, RecvOff: 0, RecvLen: 4, Tag: 1, Step: 1})
+	pr.Add(1, Op{Kind: OpSendrecv, To: 0, SendOff: 0, SendLen: 4, From: 0, RecvOff: 0, RecvLen: 0, Tag: 1, Step: 1})
+	s := pr.Stats()
+	if s.Messages != 2 {
+		t.Fatalf("messages = %d want 2 (one per sendrecv)", s.Messages)
+	}
+	if s.NonEmptyMessages != 1 {
+		t.Fatalf("nonEmpty = %d want 1 (zero-byte send excluded)", s.NonEmptyMessages)
+	}
+	if s.Bytes != 4 {
+		t.Fatalf("bytes = %d want 4", s.Bytes)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := pingPong()
+	b := pingPong()
+	c, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.OpsOf(0)) != 4 || len(c.OpsOf(1)) != 4 {
+		t.Fatalf("concat op counts: %d, %d", len(c.OpsOf(0)), len(c.OpsOf(1)))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatMismatch(t *testing.T) {
+	a := pingPong()
+	b := New("other", 3, 8, 0)
+	if _, err := a.Concat(b); err == nil {
+		t.Fatal("expected concat mismatch error")
+	}
+}
+
+func TestOpsOfOutOfRange(t *testing.T) {
+	pr := pingPong()
+	if pr.OpsOf(-1) != nil || pr.OpsOf(2) != nil {
+		t.Fatal("out-of-range OpsOf should return nil")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: OpSend, To: 3, SendOff: 8, SendLen: 4, Tag: 7}, "send(to=3 [8,12) tag=7)"},
+		{Op{Kind: OpRecv, From: 1, RecvOff: 0, RecvLen: 4, Tag: 7}, "recv(from=1 [0,4) tag=7)"},
+		{Op{Kind: OpSendrecv, To: 3, SendOff: 8, SendLen: 4, From: 1, RecvOff: 0, RecvLen: 4, Tag: 7},
+			"sendrecv(to=3 [8,12) from=1 [0,4) tag=7)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("op string = %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpSend.String() != "send" || OpRecv.String() != "recv" || OpSendrecv.String() != "sendrecv" {
+		t.Fatal("kind strings wrong")
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestDumpContainsAllOps(t *testing.T) {
+	d := pingPong().Dump()
+	for _, want := range []string{"ping-pong", "rank 0", "rank 1", "send(to=1", "recv(from=0"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyConfig controls schedule verification.
+type VerifyConfig struct {
+	// Initial returns the byte ranges rank holds valid data for before the
+	// program starts. If nil, the broadcast default is used: the root owns
+	// [0, N) and every other rank owns nothing.
+	Initial func(rank int) *IntervalSet
+
+	// WantFinal, if non-nil, is checked against every rank's final
+	// ownership; verification fails unless each rank's final set contains
+	// all of WantFinal(rank). If nil, no final check is performed.
+	WantFinal func(rank int) *IntervalSet
+}
+
+// VerifyResult reports the outcome of a successful verification.
+type VerifyResult struct {
+	// Final holds each rank's ownership set after the program completes.
+	Final []*IntervalSet
+	// Delivered is the number of messages matched and consumed.
+	Delivered int
+	// InvalidTransfers counts messages whose payload was not fully owned
+	// by the sender at issue time. Verification fails when it is nonzero,
+	// but the count is reported for diagnostics.
+	InvalidTransfers int
+	// RedundantMessages counts non-empty messages delivered into a byte
+	// range the receiver already fully owned — the useless transmissions
+	// the paper's tuned ring eliminates. The native enclosed ring has
+	// many; the tuned ring must have zero.
+	RedundantMessages int
+	// RedundantBytes is the payload volume of those redundant messages.
+	RedundantBytes int
+}
+
+// message is an in-flight send half awaiting its matching receive.
+type message struct {
+	lo, hi int  // byte range carried
+	valid  bool // sender owned the range at issue time
+	step   int
+}
+
+type chanKey struct{ src, dst, tag int }
+
+// Verify abstractly executes the program, tracking per-rank data ownership
+// as byte-interval sets, and checks three properties:
+//
+//  1. Deadlock freedom under blocking-with-buffered-send semantics (sends
+//     complete immediately, receives block until matched; a Sendrecv's
+//     send half is issued as soon as the op is reached, modelling the
+//     concurrent halves of MPI_Sendrecv).
+//  2. Data validity: every message must carry only bytes its sender holds
+//     at issue time — the property the tuned ring allgather exploits and
+//     the native enclosed ring wastes.
+//  3. Optional final coverage (e.g. every rank owns [0, N) after a
+//     broadcast).
+//
+// Matching is FIFO per (source, destination, tag), mirroring MPI's
+// non-overtaking rule for single-threaded ranks.
+func Verify(pr *Program, cfg VerifyConfig) (*VerifyResult, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	own := make([]*IntervalSet, pr.P)
+	for r := range own {
+		if cfg.Initial != nil {
+			own[r] = cfg.Initial(r).Clone()
+		} else if r == pr.Root {
+			own[r] = NewIntervalSet(Interval{0, pr.N})
+		} else {
+			own[r] = NewIntervalSet()
+		}
+	}
+
+	pc := make([]int, pr.P)      // next op index per rank
+	issued := make([]bool, pr.P) // send half of current Sendrecv already issued
+	inflight := map[chanKey][]message{}
+	res := &VerifyResult{Final: own}
+
+	issueSend := func(rank int, op Op) {
+		valid := own[rank].Contains(op.SendOff, op.SendOff+op.SendLen)
+		if !valid {
+			res.InvalidTransfers++
+		}
+		k := chanKey{rank, op.To, op.Tag}
+		inflight[k] = append(inflight[k], message{op.SendOff, op.SendOff + op.SendLen, valid, op.Step})
+	}
+
+	// tryRecv attempts to match the receive half of op for rank; it
+	// returns true (and applies the ownership transfer) on success.
+	tryRecv := func(rank int, op Op) (bool, error) {
+		k := chanKey{op.From, rank, op.Tag}
+		q := inflight[k]
+		if len(q) == 0 {
+			return false, nil
+		}
+		m := q[0]
+		inflight[k] = q[1:]
+		if m.hi-m.lo != op.RecvLen {
+			return false, fmt.Errorf("sched: verify %q: rank %d %s matched %d-byte message from step %d",
+				pr.Name, rank, op, m.hi-m.lo, m.step)
+		}
+		if m.valid {
+			if op.RecvLen > 0 && own[rank].Contains(op.RecvOff, op.RecvOff+op.RecvLen) {
+				res.RedundantMessages++
+				res.RedundantBytes += op.RecvLen
+			}
+			own[rank].Add(op.RecvOff, op.RecvOff+op.RecvLen)
+		}
+		res.Delivered++
+		return true, nil
+	}
+
+	// execOne attempts the current op of rank r; it reports whether the
+	// rank advanced past the op and whether any observable progress
+	// happened (advancing, or issuing a Sendrecv's send half).
+	execOne := func(r int) (advanced, progressed bool, err error) {
+		op := pr.Ranks[r][pc[r]]
+		switch op.Kind {
+		case OpSend:
+			issueSend(r, op)
+			pc[r]++
+			return true, true, nil
+		case OpRecv:
+			ok, err := tryRecv(r, op)
+			if err != nil || !ok {
+				return false, false, err
+			}
+			pc[r]++
+			return true, true, nil
+		case OpSendrecv:
+			if !issued[r] {
+				issueSend(r, op)
+				issued[r] = true
+				progressed = true
+			}
+			ok, err := tryRecv(r, op)
+			if err != nil || !ok {
+				return false, progressed, err
+			}
+			issued[r] = false
+			pc[r]++
+			return true, true, nil
+		default:
+			return false, false, fmt.Errorf("sched: verify %q: rank %d: unknown op kind %d", pr.Name, r, op.Kind)
+		}
+	}
+
+	for {
+		progressed := false
+		for r := 0; r < pr.P; r++ {
+			for pc[r] < len(pr.Ranks[r]) {
+				advanced, prog, err := execOne(r)
+				if err != nil {
+					return nil, err
+				}
+				if prog {
+					progressed = true
+				}
+				if !advanced {
+					break
+				}
+			}
+		}
+		done := true
+		for r := 0; r < pr.P; r++ {
+			if pc[r] < len(pr.Ranks[r]) {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if !progressed {
+			return nil, deadlockError(pr, pc)
+		}
+	}
+
+	for k, q := range inflight {
+		if len(q) > 0 {
+			return nil, fmt.Errorf("sched: verify %q: %d unconsumed messages on channel %d->%d tag %d",
+				pr.Name, len(q), k.src, k.dst, k.tag)
+		}
+	}
+	if res.InvalidTransfers > 0 {
+		return res, fmt.Errorf("sched: verify %q: %d transfers carried bytes the sender did not own",
+			pr.Name, res.InvalidTransfers)
+	}
+	if cfg.WantFinal != nil {
+		for r := 0; r < pr.P; r++ {
+			want := cfg.WantFinal(r)
+			for _, iv := range want.Intervals() {
+				if !own[r].Contains(iv.Lo, iv.Hi) {
+					return res, fmt.Errorf("sched: verify %q: rank %d final ownership %s missing [%d,%d)",
+						pr.Name, r, own[r], iv.Lo, iv.Hi)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func deadlockError(pr *Program, pc []int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sched: verify %q: deadlock; blocked ranks:", pr.Name)
+	for r := 0; r < pr.P; r++ {
+		if pc[r] < len(pr.Ranks[r]) {
+			fmt.Fprintf(&b, "\n  rank %d at op %d: %s", r, pc[r], pr.Ranks[r][pc[r]])
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// FullBuffer returns a WantFinal function requiring every rank to own the
+// entire N-byte buffer — the postcondition of a broadcast.
+func FullBuffer(n int) func(rank int) *IntervalSet {
+	full := NewIntervalSet(Interval{0, n})
+	return func(int) *IntervalSet { return full }
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+func TestCollectorCountsSends(t *testing.T) {
+	col := NewCollector()
+	err := engine.Run(2, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		if tc.Rank() == 0 {
+			return tc.Send(make([]byte, 100), 1, 5)
+		}
+		buf := make([]byte, 100)
+		_, err := tc.Recv(buf, 0, 5)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if s.Total.Messages != 1 || s.Total.Bytes != 100 {
+		t.Fatalf("total = %+v", s.Total)
+	}
+	if s.Recvs != 1 {
+		t.Fatalf("recvs = %d", s.Recvs)
+	}
+	if s.ByTag[5].Messages != 1 || s.ByTag[5].Bytes != 100 {
+		t.Fatalf("byTag = %+v", s.ByTag)
+	}
+	if s.Intra.Messages != 1 || s.Inter.Messages != 0 {
+		t.Fatalf("single node must be all intra: %+v", s)
+	}
+}
+
+func TestCollectorClassifiesInterNode(t *testing.T) {
+	col := NewCollector()
+	topo := topology.Blocked(4, 2)
+	err := engine.RunWith(engine.Options{NP: 4, Topology: topo}, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		switch tc.Rank() {
+		case 0:
+			if err := tc.Send(make([]byte, 10), 1, 1); err != nil { // intra (node 0)
+				return err
+			}
+			return tc.Send(make([]byte, 20), 2, 1) // inter (node 0 -> 1)
+		case 1:
+			_, err := tc.Recv(make([]byte, 10), 0, 1)
+			return err
+		case 2:
+			_, err := tc.Recv(make([]byte, 20), 0, 1)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if s.Intra.Messages != 1 || s.Intra.Bytes != 10 {
+		t.Fatalf("intra = %+v", s.Intra)
+	}
+	if s.Inter.Messages != 1 || s.Inter.Bytes != 20 {
+		t.Fatalf("inter = %+v", s.Inter)
+	}
+}
+
+func TestCollectorCountsSendrecvOnce(t *testing.T) {
+	col := NewCollector()
+	err := engine.Run(2, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		peer := 1 - tc.Rank()
+		out := make([]byte, 8)
+		in := make([]byte, 8)
+		_, err := tc.Sendrecv(out, peer, 3, in, peer, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if s.Total.Messages != 2 || s.Total.Bytes != 16 {
+		t.Fatalf("sendrecv pair should record 2 messages: %+v", s.Total)
+	}
+	if s.Recvs != 2 {
+		t.Fatalf("recvs = %d", s.Recvs)
+	}
+}
+
+func TestCollectorTracksSubComms(t *testing.T) {
+	col := NewCollector()
+	err := engine.Run(4, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		sub, err := tc.Split(tc.Rank()%2, tc.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Rank() == 0 {
+			return sub.Send(make([]byte, 7), 1, 9)
+		}
+		_, err = sub.Recv(make([]byte, 7), 0, 9)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if s.Total.Messages != 2 || s.Total.Bytes != 14 {
+		t.Fatalf("sub-comm traffic not recorded: %+v", s.Total)
+	}
+}
+
+func TestCollectorSplitUndefined(t *testing.T) {
+	col := NewCollector()
+	err := engine.Run(2, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		color := 0
+		if tc.Rank() == 1 {
+			color = mpi.Undefined
+		}
+		sub, err := tc.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if tc.Rank() == 1 && sub != nil {
+			t.Error("undefined split must stay nil through the wrapper")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	col := NewCollector()
+	err := engine.Run(2, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		if tc.Rank() == 0 {
+			return tc.Send(make([]byte, 3), 1, 0x7F02)
+		}
+		_, err := tc.Recv(make([]byte, 3), 0, 0x7F02)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := col.Stats().String()
+	for _, want := range []string{"msgs=1", "bytes=3", "tag[0x7f02]=1/3"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stats string %q missing %q", got, want)
+		}
+	}
+}
+
+func TestFailedSendNotCounted(t *testing.T) {
+	col := NewCollector()
+	err := engine.Run(2, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		if tc.Rank() == 0 {
+			if err := tc.Send(nil, 99, 1); err == nil {
+				t.Error("expected rank error")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := col.Stats(); s.Total.Messages != 0 {
+		t.Fatalf("failed send was counted: %+v", s.Total)
+	}
+}
+
+func TestCollectorCountsNonblocking(t *testing.T) {
+	col := NewCollector()
+	err := engine.Run(2, func(c mpi.Comm) error {
+		tc := col.Wrap(c)
+		if tc.Rank() == 0 {
+			req, err := tc.Isend(make([]byte, 12), 1, 4)
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		buf := make([]byte, 12)
+		req, err := tc.Irecv(buf, 0, 4)
+		if err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		// Second Wait must not double-count the receive.
+		_, err = req.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats()
+	if s.Total.Messages != 1 || s.Total.Bytes != 12 {
+		t.Fatalf("isend not counted: %+v", s.Total)
+	}
+	if s.Recvs != 1 {
+		t.Fatalf("irecv recvs = %d want 1", s.Recvs)
+	}
+}
