@@ -10,21 +10,30 @@
 //	bcastbench -np 12 -cores 4 -algo smp-opt      # multi-node placement
 //
 // Comparing -algo native against -algo opt reproduces the paper's
-// MPI_Bcast_native / MPI_Bcast_opt comparison at laptop scale.
+// MPI_Bcast_native / MPI_Bcast_opt comparison at laptop scale. -algo also
+// accepts any algorithm registered in internal/collective (see -list),
+// and -tune-table dispatches every broadcast through a JSON tuning table
+// produced by the auto-tuner (bcastsim -autotune).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/collective"
+	"repro/internal/tune"
 )
 
 func main() {
 	var (
 		npFlag    = flag.Int("np", 8, "number of ranks")
-		algoFlag  = flag.String("algo", "opt", "broadcast: native|opt|binomial|auto|auto-opt|smp|smp-opt")
+		algoFlag  = flag.String("algo", "opt", "broadcast: a legacy variant (native|opt|binomial|auto|auto-opt|smp|smp-opt) or a registry algorithm (see -list)")
+		listFlag  = flag.Bool("list", false, "list registered algorithms and exit")
+		tableFlag = flag.String("tune-table", "", "JSON tuning table; dispatch each broadcast through it (overrides -algo)")
+		segFlag   = flag.Int("seg", 0, "segment size in bytes for segmented algorithms (0 = default)")
 		minFlag   = flag.Int("min", 16<<10, "smallest message size in bytes")
 		maxFlag   = flag.Int("max", 4<<20, "largest message size in bytes")
 		itersFlag = flag.Int("iters", 100, "broadcast iterations per size (paper: 100)")
@@ -34,10 +43,12 @@ func main() {
 	)
 	flag.Parse()
 
-	variant, err := bench.ParseVariant(*algoFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bcastbench:", err)
-		os.Exit(2)
+	if *listFlag {
+		fmt.Println("# registered broadcast algorithms:")
+		for _, r := range collective.Algorithms() {
+			fmt.Printf("%-28s %s\n", r.Name, r.Summary)
+		}
+		return
 	}
 	if *npFlag <= 0 || *minFlag < 0 || *maxFlag < *minFlag {
 		fmt.Fprintln(os.Stderr, "bcastbench: bad np/min/max")
@@ -56,9 +67,31 @@ func main() {
 		EagerLimit:   *eagerFlag,
 		Iterations:   *itersFlag,
 		Root:         *rootFlag,
-		Variant:      variant,
+		SegSize:      *segFlag,
 	}
-	fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d\n", variant, *npFlag, *itersFlag)
+	label := *algoFlag
+	switch {
+	case *tableFlag != "":
+		table, err := tune.LoadTable(*tableFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bcastbench:", err)
+			os.Exit(2)
+		}
+		cfg.Tuner = tune.TableTuner{Table: table, Fallback: tune.MPICH3{}}
+		label = fmt.Sprintf("tune-table %q", table.Name)
+	default:
+		if variant, err := bench.ParseVariant(*algoFlag); err == nil {
+			cfg.Variant = variant
+			label = variant.String()
+		} else if _, ok := collective.Lookup(*algoFlag); ok {
+			cfg.Algo = *algoFlag
+		} else {
+			fmt.Fprintf(os.Stderr, "bcastbench: unknown algorithm %q (registry: %s)\n",
+				*algoFlag, strings.Join(collective.Names(), ", "))
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d\n", label, *npFlag, *itersFlag)
 	fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
 	for n := *minFlag; n <= *maxFlag; n *= 2 {
 		res, err := bench.MeasureReal(cfg, n)

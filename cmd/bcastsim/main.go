@@ -9,17 +9,26 @@
 //	bcastsim -fig 6b                  # one figure
 //	bcastsim -fig 7 -model laki       # the NEC calibration
 //	bcastsim -fig 6a -nocontention    # ablation: no NIC/memory queueing
+//
+// Beyond the figures, the tool exposes the algorithm registry and the
+// tuning subsystem:
+//
+//	bcastsim -algo scatter-ring-allgather-opt,chain -np 64   # bandwidth curves by registry name
+//	bcastsim -autotune -np 16,64,129 -o table.json           # derive a tuning table on the model
+//	bcastsim -tune-table table.json -np 16,64,129            # tuned-vs-native comparison
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/netsim"
 	"repro/internal/topology"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -30,6 +39,15 @@ func main() {
 		warmFlag     = flag.Int("warm", 2, "warm-up iterations for steady-state timing")
 		totalFlag    = flag.Int("total", 6, "total iterations for steady-state timing")
 		noContention = flag.Bool("nocontention", false, "ablation: disable NIC/memory contention")
+		algoFlag     = flag.String("algo", "", "comma-separated registry algorithms: simulate bandwidth curves instead of figures")
+		npFlag       = flag.String("np", "", "comma-separated process counts for -algo/-autotune/-tune-table (default 16,64,129)")
+		minFlag      = flag.Int("min", 16<<10, "smallest message size for -algo/-autotune/-tune-table sweeps")
+		maxFlag      = flag.Int("max", 4<<20, "largest message size for -algo/-autotune/-tune-table sweeps")
+		segFlag      = flag.Int("seg", 0, "segment size for segmented algorithms (0 = default)")
+		autotuneFlag = flag.Bool("autotune", false, "auto-tune over the registry and emit a JSON tuning table")
+		candFlag     = flag.String("candidates", "all", "auto-tune candidate set: all (whole registry) | mpich (the dispatcher's own family)")
+		tableFlag    = flag.String("tune-table", "", "JSON tuning table: report tuned-vs-native dispatch on the model")
+		outFlag      = flag.String("o", "", "write -autotune output to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -53,6 +71,27 @@ func main() {
 	model.NoContention = *noContention
 
 	cfg := bench.SimConfig{Model: model, CoresPerNode: cores, Warm: *warmFlag, Total: *totalFlag}
+
+	if *algoFlag != "" || *autotuneFlag || *tableFlag != "" {
+		procs, err := parseInts(*npFlag, []int{16, 64, 129})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcastsim: -np: %v\n", err)
+			os.Exit(2)
+		}
+		if *minFlag <= 0 || *maxFlag < *minFlag {
+			fmt.Fprintln(os.Stderr, "bcastsim: bad -min/-max")
+			os.Exit(2)
+		}
+		var sizes []int
+		for n := *minFlag; n <= *maxFlag; n *= 2 {
+			sizes = append(sizes, n)
+		}
+		if err := runTuning(cfg, procs, sizes, *algoFlag, *segFlag, *autotuneFlag, *candFlag, *tableFlag, *outFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bcastsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(id string) error {
 		switch id {
@@ -104,5 +143,98 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bcastsim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// parseInts parses a comma-separated int list, returning def when empty.
+func parseInts(s string, def []int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runTuning handles the registry-facing modes: -algo bandwidth curves,
+// -autotune table derivation, and -tune-table comparison.
+func runTuning(cfg bench.SimConfig, procs, sizes []int, algos string, seg int, autotune bool, candSet, tablePath, outPath string) error {
+	switch {
+	case autotune:
+		var cands []tune.Candidate
+		switch candSet {
+		case "all":
+			// nil = the whole registry
+		case "mpich":
+			cands = bench.FamilyCandidates()
+		default:
+			return fmt.Errorf("unknown -candidates %q (all|mpich)", candSet)
+		}
+		table, winners, err := bench.AutoTuneSim(cfg, cands, procs, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# auto-tuner grid winners:")
+		fmt.Print(bench.FormatWinners(winners))
+		if outPath != "" {
+			if err := tune.SaveTable(table, outPath); err != nil {
+				return err
+			}
+			fmt.Printf("# tuning table written to %s (%d rules)\n", outPath, len(table.Rules))
+			return nil
+		}
+		data, err := table.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println("# tuning table:")
+		fmt.Println(string(data))
+		return nil
+
+	case tablePath != "":
+		table, err := tune.LoadTable(tablePath)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.CompareTuned(cfg, table, procs, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# tuned-vs-native dispatch on model %q, table %q\n", cfg.Model.Name, table.Name)
+		fmt.Print(bench.FormatTunedRows(rows))
+		return nil
+
+	default:
+		names := strings.Split(algos, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		for _, p := range procs {
+			fmt.Printf("# simulated bandwidth (MB/s), model %q, np=%d\n", cfg.Model.Name, p)
+			fmt.Printf("%-12s", "bytes")
+			for _, name := range names {
+				fmt.Printf(" %28s", name)
+			}
+			fmt.Println()
+			for _, n := range sizes {
+				fmt.Printf("%-12d", n)
+				for _, name := range names {
+					r, err := bench.MeasureSimDecision(cfg, tune.Decision{Algorithm: name, SegSize: seg}, p, n)
+					if err != nil {
+						return err
+					}
+					fmt.Printf(" %28.2f", r.MBps)
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+		}
+		return nil
 	}
 }

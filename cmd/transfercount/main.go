@@ -10,6 +10,8 @@
 //
 //	transfercount
 //	transfercount -p 8,10,16,129 -n 65536 -measure
+//	transfercount -algo binomial,chain,scatter-ring-allgather-opt
+//	transfercount -tune-table table.json
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mpi"
 	"repro/internal/trace"
+	"repro/internal/tune"
 )
 
 func main() {
@@ -32,6 +35,10 @@ func main() {
 		pFlag       = flag.String("p", "2,4,8,10,16,32,64,129,256", "comma-separated process counts")
 		nFlag       = flag.Int("n", 1<<20, "broadcast size in bytes for the byte columns")
 		measureFlag = flag.Bool("measure", false, "verify counts by traced execution on the real engine (P <= 64)")
+		algoFlag    = flag.String("algo", "", "comma-separated registry algorithms: tabulate whole-broadcast schedule traffic instead of the ring-phase table")
+		segFlag     = flag.Int("seg", 0, "segment size for segmented algorithms (0 = default)")
+		tableFlag   = flag.String("tune-table", "", "JSON tuning table: show the dispatch decision and its traffic per process count")
+		coresFlag   = flag.Int("cores", 0, "cores per node assumed when resolving -tune-table topology rules (0 = single node)")
 	)
 	flag.Parse()
 
@@ -43,6 +50,21 @@ func main() {
 			os.Exit(2)
 		}
 		ps = append(ps, p)
+	}
+
+	if *algoFlag != "" {
+		if err := countAlgos(strings.Split(*algoFlag, ","), ps, *nFlag, *segFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "transfercount: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tableFlag != "" {
+		if err := countTable(*tableFlag, ps, *nFlag, *coresFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "transfercount: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("# ring allgather transfer counts, n=%d bytes (analytic model)\n", *nFlag)
@@ -94,4 +116,68 @@ func measureRing(algo func(mpi.Comm, []byte, int) error, p, n int) (int64, error
 		return 0, err
 	}
 	return col.Stats().ByTag[core.TagRing].Messages, nil
+}
+
+// countAlgos tabulates total schedule traffic (all phases, not just the
+// ring) for registry algorithms, via their generated programs.
+func countAlgos(names []string, ps []int, n, seg int) error {
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	fmt.Printf("# whole-broadcast schedule traffic, n=%d bytes\n", n)
+	fmt.Printf("%-6s %-28s %12s %14s\n", "P", "algorithm", "messages", "bytes")
+	for _, p := range ps {
+		for _, name := range names {
+			reg, ok := collective.Lookup(name)
+			if !ok {
+				return fmt.Errorf("unknown algorithm %q (registry: %s)", name, strings.Join(collective.Names(), ", "))
+			}
+			if reg.Program == nil {
+				fmt.Printf("%-6d %-28s %12s %14s\n", p, name, "-", "-")
+				continue
+			}
+			pr, err := reg.Program(p, 0, n, seg)
+			if err != nil {
+				fmt.Printf("%-6d %-28s %12s %14s\n", p, name, "n/a", err.Error())
+				continue
+			}
+			st := pr.Stats()
+			fmt.Printf("%-6d %-28s %12d %14d\n", p, name, st.Messages, st.Bytes)
+		}
+	}
+	return nil
+}
+
+// countTable shows, per process count, which algorithm a tuning table
+// dispatches at size n and the traffic of that schedule. The assumed
+// placement (cores per node) matters only for tables with multi_node
+// rules; decisions are resolved exactly as a broadcast on that placement
+// would resolve them.
+func countTable(path string, ps []int, n, cores int) error {
+	table, err := tune.LoadTable(path)
+	if err != nil {
+		return err
+	}
+	tuner := tune.TableTuner{Table: table, Fallback: tune.MPICH3{}}
+	fmt.Printf("# tuning-table dispatch, table %q, n=%d bytes\n", table.Name, n)
+	fmt.Printf("%-6s %-28s %12s %14s\n", "P", "decision", "messages", "bytes")
+	for _, p := range ps {
+		nodes := 1
+		if cores > 0 {
+			nodes = (p + cores - 1) / cores
+		}
+		d := tuner.Decide(tune.Env{Bytes: n, Procs: p, NumNodes: nodes})
+		reg, ok := collective.Lookup(d.Algorithm)
+		if !ok || reg.Program == nil {
+			fmt.Printf("%-6d %-28s %12s %14s\n", p, d.Algorithm, "-", "-")
+			continue
+		}
+		pr, err := reg.Program(p, 0, n, d.SegSize)
+		if err != nil {
+			return err
+		}
+		st := pr.Stats()
+		fmt.Printf("%-6d %-28s %12d %14d\n", p, d.Algorithm, st.Messages, st.Bytes)
+	}
+	return nil
 }

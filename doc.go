@@ -10,12 +10,22 @@
 //
 // This module contains the complete system: an MPI-like runtime
 // (internal/engine), the broadcast algorithm family and its analytic
-// traffic model (internal/core, internal/collective), a deterministic
-// cluster simulator that regenerates the paper's figures at full scale
-// (internal/netsim), traffic tracing (internal/trace), the measurement
-// harnesses (internal/bench), command-line tools (cmd/...), and runnable
-// examples (examples/...). See README.md for the tour and EXPERIMENTS.md
-// for the paper-versus-measured record.
+// traffic model (internal/core, internal/collective), the pluggable
+// algorithm registry and auto-tuning subsystem that replaces MPICH3's
+// hardcoded dispatch (internal/collective's registry + internal/tune),
+// a deterministic cluster simulator that regenerates the paper's figures
+// at full scale (internal/netsim), traffic tracing (internal/trace), the
+// measurement harnesses (internal/bench), command-line tools (cmd/...),
+// and runnable examples (examples/...). See README.md for the tour and
+// EXPERIMENTS.md for the paper-versus-measured record.
+//
+// Algorithm selection is a first-class subsystem: every broadcast
+// registers into a named registry with capability predicates, Bcast and
+// BcastOpt dispatch through a Tuner (default: MPICH3's thresholds,
+// reproduced bit-for-bit), and tune.AutoTune derives JSON tuning tables
+// from measured crossover points on the simulated cluster (bcastsim
+// -autotune) or the real engine. See internal/tune's package
+// documentation for the architecture.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; run them with

@@ -17,12 +17,12 @@ import (
 	"time"
 
 	"repro/internal/collective"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/topology"
+	"repro/internal/tune"
 )
 
 // MiB is 2^20 bytes; the paper uses megabytes "in the base-2 sense".
@@ -133,27 +133,33 @@ func (v Variant) fn() func(mpi.Comm, []byte, int) error {
 	}
 }
 
+// ProgramFor returns the static communication schedule of a tuner
+// decision, resolved through the collective registry.
+func ProgramFor(d tune.Decision, p, root, n int) (*sched.Program, error) {
+	reg, ok := collective.Lookup(d.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown algorithm %q (registered: %v)", d.Algorithm, collective.Names())
+	}
+	if reg.Program == nil {
+		return nil, fmt.Errorf("bench: algorithm %q has no static schedule", d.Algorithm)
+	}
+	return reg.Program(p, root, n, d.SegSize)
+}
+
 // Program returns the variant's communication schedule for the simulated
-// harness (only schedule-static variants are supported there).
+// harness (only schedule-static variants are supported there), resolved
+// through the collective registry.
 func (v Variant) Program(p, root, n int) (*sched.Program, error) {
 	switch v {
 	case Native:
-		return core.BcastNativeProgram(p, root, n), nil
+		return ProgramFor(tune.Decision{Algorithm: tune.RingNative}, p, root, n)
 	case Opt:
-		return core.BcastOptProgram(p, root, n), nil
+		return ProgramFor(tune.Decision{Algorithm: tune.RingOpt}, p, root, n)
 	case Binomial:
-		return core.BinomialBcast(p, root, n), nil
+		return ProgramFor(tune.Decision{Algorithm: tune.Binomial}, p, root, n)
 	case AutoNative, AutoOpt:
-		switch collective.SelectAlgorithm(n, p, v == AutoOpt) {
-		case collective.AlgBinomial:
-			return core.BinomialBcast(p, root, n), nil
-		case collective.AlgScatterRdbAllgather:
-			return core.BcastRdbProgram(p, root, n), nil
-		case collective.AlgScatterRingAllgather:
-			return core.BcastNativeProgram(p, root, n), nil
-		default:
-			return core.BcastOptProgram(p, root, n), nil
-		}
+		d := tune.MPICH3{Tuned: v == AutoOpt}.Decide(tune.Env{Bytes: n, Procs: p})
+		return ProgramFor(d, p, root, n)
 	default:
 		return nil, fmt.Errorf("bench: variant %v has no static schedule", v)
 	}
@@ -172,8 +178,42 @@ type RealConfig struct {
 	Iterations int
 	// Root is the broadcast root.
 	Root int
-	// Variant is the broadcast under test.
+	// Variant is the broadcast under test (ignored when Algo or Tuner is
+	// set).
 	Variant Variant
+	// Algo, when non-empty, selects a registry algorithm by name instead
+	// of Variant; SegSize is its segment parameter (segmented algorithms
+	// only, 0 = default).
+	Algo    string
+	SegSize int
+	// Tuner, when non-nil, takes precedence over Algo and Variant: every
+	// broadcast dispatches through it (table-driven or default MPICH3
+	// selection).
+	Tuner tune.Tuner
+}
+
+// bcastFn resolves the broadcast the harness measures: Tuner, then Algo,
+// then the legacy Variant.
+func (cfg RealConfig) bcastFn() (func(c mpi.Comm, buf []byte, root int) error, error) {
+	switch {
+	case cfg.Tuner != nil:
+		return func(c mpi.Comm, buf []byte, root int) error {
+			return collective.BcastWith(c, buf, root, cfg.Tuner)
+		}, nil
+	case cfg.Algo != "":
+		if _, ok := collective.Lookup(cfg.Algo); !ok {
+			return nil, fmt.Errorf("bench: unknown algorithm %q (registered: %v)", cfg.Algo, collective.Names())
+		}
+		d := tune.Decision{Algorithm: cfg.Algo, SegSize: cfg.SegSize}
+		return func(c mpi.Comm, buf []byte, root int) error {
+			return collective.RunDecision(c, buf, root, d)
+		}, nil
+	default:
+		if fn := cfg.Variant.fn(); fn != nil {
+			return fn, nil
+		}
+		return nil, fmt.Errorf("bench: bad variant %v", cfg.Variant)
+	}
 }
 
 func (cfg RealConfig) topology() *topology.Map {
@@ -190,12 +230,12 @@ func MeasureReal(cfg RealConfig, n int) (Result, error) {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 100
 	}
-	fn := cfg.Variant.fn()
-	if fn == nil {
-		return Result{}, fmt.Errorf("bench: bad variant %v", cfg.Variant)
+	fn, err := cfg.bcastFn()
+	if err != nil {
+		return Result{}, err
 	}
 	var elapsed time.Duration
-	err := engine.RunWith(engine.Options{
+	err = engine.RunWith(engine.Options{
 		NP:         cfg.NP,
 		Topology:   cfg.topology(),
 		EagerLimit: cfg.EagerLimit,

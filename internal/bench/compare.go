@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/tune"
+)
+
+// simMeasurer adapts a SimConfig to the auto-tuner's Measurer.
+func (cfg SimConfig) simMeasurer() tune.SimMeasurer {
+	cfg.fill()
+	return tune.SimMeasurer{
+		Model:        cfg.Model,
+		CoresPerNode: cfg.CoresPerNode,
+		Warm:         cfg.Warm,
+		Total:        cfg.Total,
+		Root:         cfg.Root,
+	}
+}
+
+// FamilyCandidates returns the registry candidates restricted to MPICH3's
+// own dispatch family (binomial, scatter-rdb, the two rings) — the set the
+// paper tunes among. Extensions like the pipelined chain are excluded, so
+// an auto-tuned table over this set is directly comparable to
+// SelectAlgorithm's static thresholds.
+func FamilyCandidates() []tune.Candidate {
+	family := map[string]bool{
+		tune.Binomial:   true,
+		tune.ScatterRdb: true,
+		tune.RingNative: true,
+		tune.RingOpt:    true,
+	}
+	var out []tune.Candidate
+	for _, c := range collective.Candidates() {
+		if family[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AutoTuneSim runs the auto-tuner over the registry's schedule-static
+// algorithms on the netsim cluster model, deriving a tuning table from
+// measured crossover points. A nil candidate list tunes over the whole
+// registry (collective.Candidates()).
+func AutoTuneSim(cfg SimConfig, cands []tune.Candidate, procs, sizes []int) (*tune.Table, []tune.Winner, error) {
+	if cands == nil {
+		cands = collective.Candidates()
+	}
+	cfg.fill()
+	t, winners, err := tune.AutoTune(cands, cfg.simMeasurer(), procs, sizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.Description = fmt.Sprintf("%s on netsim model %q, %d cores/node", t.Description, cfg.Model.Name, cfg.CoresPerNode)
+	return t, winners, nil
+}
+
+// TunedRow is one point of the tuned-versus-native comparison: what the
+// static MPICH3 dispatch picks, what the tuned table picks, and the
+// simulated bandwidth of each.
+type TunedRow struct {
+	P, N       int
+	NativeAlgo string
+	TunedAlgo  string
+	NativeMBps float64
+	TunedMBps  float64
+	// Speedup is native-time / tuned-time (> 1 where the tuner wins).
+	Speedup float64
+}
+
+// CompareTuned evaluates a tuning table against MPICH3's static native
+// dispatch over a (procs x sizes) grid on the simulated cluster,
+// reporting where the auto-tuned selection beats the hardcoded one.
+func CompareTuned(cfg SimConfig, table *tune.Table, procs, sizes []int) ([]TunedRow, error) {
+	cfg.fill()
+	native := tune.MPICH3{}
+	tuned := tune.TableTuner{Table: table, Fallback: native}
+	m := cfg.simMeasurer()
+
+	var rows []TunedRow
+	for _, p := range procs {
+		for _, n := range sizes {
+			e := m.Env(p, n)
+			nd := native.Decide(e)
+			td := tuned.Decide(e)
+			nt, err := simDecision(cfg, nd, p, n)
+			if err != nil {
+				return nil, fmt.Errorf("bench: native %q at (p=%d, n=%d): %w", nd.Algorithm, p, n, err)
+			}
+			tt, err := simDecision(cfg, td, p, n)
+			if err != nil {
+				return nil, fmt.Errorf("bench: tuned %q at (p=%d, n=%d): %w", td.Algorithm, p, n, err)
+			}
+			row := TunedRow{
+				P: p, N: n,
+				NativeAlgo: nd.Algorithm, TunedAlgo: td.Algorithm,
+				NativeMBps: newResult(n, nt).MBps,
+				TunedMBps:  newResult(n, tt).MBps,
+			}
+			if tt > 0 {
+				row.Speedup = nt / tt
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// MeasureSimDecision predicts the bandwidth of a registry decision on
+// the modelled cluster — MeasureSim generalized from the fixed Variant
+// set to any registered algorithm.
+func MeasureSimDecision(cfg SimConfig, d tune.Decision, p, n int) (Result, error) {
+	dt, err := simDecision(cfg, d, p, n)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(n, dt), nil
+}
+
+// simDecision predicts the steady-state per-iteration time of a decided
+// algorithm on the modelled cluster.
+func simDecision(cfg SimConfig, d tune.Decision, p, n int) (float64, error) {
+	cfg.fill()
+	pr, err := ProgramFor(d, p, cfg.Root, n)
+	if err != nil {
+		return 0, err
+	}
+	topo := topology.Blocked(p, cfg.CoresPerNode)
+	return netsim.SteadyStateIterTime(pr, topo, cfg.Model, cfg.Warm, cfg.Total)
+}
+
+// FormatTunedRows renders the comparison as an aligned table.
+func FormatTunedRows(rows []TunedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-10s %-28s %-28s %12s %12s %8s\n",
+		"P", "bytes", "native-dispatch", "tuned-dispatch", "native-MB/s", "tuned-MB/s", "speedup")
+	for _, r := range rows {
+		marker := ""
+		if r.Speedup > 1.005 && r.TunedAlgo != r.NativeAlgo {
+			marker = " *"
+		}
+		fmt.Fprintf(&b, "%-6d %-10d %-28s %-28s %12.2f %12.2f %7.3fx%s\n",
+			r.P, r.N, r.NativeAlgo, r.TunedAlgo, r.NativeMBps, r.TunedMBps, r.Speedup, marker)
+	}
+	b.WriteString("# * = auto-tuned table picked a different algorithm and won\n")
+	return b.String()
+}
+
+// FormatWinners renders the auto-tuner's raw grid decisions.
+func FormatWinners(ws []tune.Winner) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-10s %-28s %14s\n", "P", "bytes", "winner", "us/iter")
+	for _, w := range ws {
+		fmt.Fprintf(&b, "%-6d %-10d %-28s %14.2f\n", w.Procs, w.Bytes, w.Decision.Algorithm, w.Seconds*1e6)
+	}
+	return b.String()
+}

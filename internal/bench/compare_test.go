@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/tune"
+)
+
+// TestAutoTunePicksPaperRingForLongMessages is the paper-scale acceptance
+// run: auto-tuning MPICH3's own algorithm family on the netsim Hornet
+// model at the paper's process counts must, for every long message
+// (>= tune.LongMsgSize), select the paper's tuned non-enclosed ring —
+// the measured confirmation of the paper's claim that the optimized ring
+// dominates the long-message regime.
+func TestAutoTunePicksPaperRingForLongMessages(t *testing.T) {
+	procs := []int{16, 64, 129}
+	sizes := []int{1 << 18, tune.LongMsgSize, 1 << 20, 1 << 21}
+	cfg := SimConfig{}
+	table, winners, err := AutoTuneSim(cfg, FamilyCandidates(), procs, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range winners {
+		if w.Bytes >= tune.LongMsgSize && w.Decision.Algorithm != tune.RingOpt {
+			t.Errorf("long-message winner at (p=%d, n=%d) = %q, want %q",
+				w.Procs, w.Bytes, w.Decision.Algorithm, tune.RingOpt)
+		}
+		if w.Seconds <= 0 {
+			t.Errorf("non-positive time at (p=%d, n=%d)", w.Procs, w.Bytes)
+		}
+	}
+
+	// The emitted JSON table must survive a round trip and keep the
+	// long-message decisions.
+	data, err := table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := tune.ParseTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range procs {
+		d, ok := parsed.Lookup(tune.Env{Bytes: 1 << 20, Procs: p, NumNodes: 6})
+		if !ok || d.Algorithm != tune.RingOpt {
+			t.Errorf("table lookup (p=%d, n=1MiB) = (%+v, %v), want %q", p, d, ok, tune.RingOpt)
+		}
+	}
+}
+
+// TestCompareTunedBeatsNativeDispatch checks the tuned-vs-native report:
+// where the auto-tuned table picks the paper's ring over the native one,
+// the simulated bandwidth must not regress.
+func TestCompareTunedBeatsNativeDispatch(t *testing.T) {
+	procs := []int{129}
+	sizes := []int{tune.LongMsgSize, 1 << 21}
+	cfg := SimConfig{}
+	table, _, err := AutoTuneSim(cfg, FamilyCandidates(), procs, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := CompareTuned(cfg, table, procs, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(procs)*len(sizes) {
+		t.Fatalf("want %d rows, got %d", len(procs)*len(sizes), len(rows))
+	}
+	for _, r := range rows {
+		if r.NativeAlgo != tune.RingNative {
+			t.Errorf("native dispatch at (p=%d, n=%d) = %q, want %q", r.P, r.N, r.NativeAlgo, tune.RingNative)
+		}
+		if r.TunedAlgo != tune.RingOpt {
+			t.Errorf("tuned dispatch at (p=%d, n=%d) = %q, want %q", r.P, r.N, r.TunedAlgo, tune.RingOpt)
+		}
+		if r.Speedup <= 1.0 {
+			t.Errorf("tuned ring must beat native at (p=%d, n=%d), speedup %.3f", r.P, r.N, r.Speedup)
+		}
+	}
+	if out := FormatTunedRows(rows); out == "" {
+		t.Error("empty report")
+	}
+}
+
+// TestMeasureRealRegistryPaths drives the real-engine harness through the
+// new Algo and Tuner configuration paths at tiny scale.
+func TestMeasureRealRegistryPaths(t *testing.T) {
+	base := RealConfig{NP: 4, Iterations: 2}
+
+	algoCfg := base
+	algoCfg.Algo = tune.Chain
+	algoCfg.SegSize = 256
+	if _, err := MeasureReal(algoCfg, 1024); err != nil {
+		t.Errorf("Algo path: %v", err)
+	}
+
+	badCfg := base
+	badCfg.Algo = "no-such-algorithm"
+	if _, err := MeasureReal(badCfg, 1024); err == nil {
+		t.Error("unknown Algo must fail")
+	}
+
+	tunerCfg := base
+	tunerCfg.Tuner = tune.TableTuner{
+		Table: &tune.Table{Rules: []tune.Rule{
+			{Decision: tune.Decision{Algorithm: tune.RingOpt}},
+		}},
+	}
+	if _, err := MeasureReal(tunerCfg, 1024); err != nil {
+		t.Errorf("Tuner path: %v", err)
+	}
+}
+
+// TestProgramForResolvesRegistry pins ProgramFor's error behavior.
+func TestProgramForResolvesRegistry(t *testing.T) {
+	if _, err := ProgramFor(tune.Decision{Algorithm: tune.RingOpt}, 10, 0, 4096); err != nil {
+		t.Errorf("ring-opt: %v", err)
+	}
+	if _, err := ProgramFor(tune.Decision{Algorithm: "bogus"}, 10, 0, 4096); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+	if _, err := ProgramFor(tune.Decision{Algorithm: tune.SMP}, 10, 0, 4096); err == nil {
+		t.Error("schedule-free algorithm must fail")
+	}
+	if _, err := ProgramFor(tune.Decision{Algorithm: tune.ScatterRdb}, 10, 0, 4096); err == nil {
+		t.Error("rdb on non-pow2 must fail")
+	}
+}

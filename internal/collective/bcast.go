@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/tune"
 )
 
 func checkRoot(c mpi.Comm, root int) error {
@@ -214,6 +215,9 @@ func BcastScatterRdbAllgather(c mpi.Comm, buf []byte, root int) error {
 }
 
 // Algorithm identifies which broadcast algorithm the dispatcher selected.
+// It predates the named registry (registry.go) and remains as the compact
+// identifier of MPICH3's own dispatch family; Name maps it onto the
+// registry namespace.
 type Algorithm int
 
 // Broadcast algorithm identifiers, in dispatch order.
@@ -240,9 +244,31 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Name returns the algorithm's registry name (see registry.go and
+// internal/tune); the default tuner's decisions are golden-tested to be
+// identical to SelectAlgorithm through this mapping.
+func (a Algorithm) Name() string {
+	switch a {
+	case AlgBinomial:
+		return tune.Binomial
+	case AlgScatterRdbAllgather:
+		return tune.ScatterRdb
+	case AlgScatterRingAllgather:
+		return tune.RingNative
+	case AlgScatterRingAllgatherOpt:
+		return tune.RingOpt
+	default:
+		return fmt.Sprintf("algorithm-%d", int(a))
+	}
+}
+
 // SelectAlgorithm reproduces MPICH3's broadcast dispatch for an n-byte
 // message over p ranks. With tuned=true, the long-message/mmsg-npof2 ring
 // path selects the paper's optimized ring.
+//
+// It is the golden reference for tune.MPICH3, the default Tuner that
+// Bcast and BcastOpt dispatch through; a test asserts the two agree on
+// every (n, p, tuned) input.
 func SelectAlgorithm(n, p int, tuned bool) Algorithm {
 	switch {
 	case n < BcastShortMsgSize || p < BcastMinProcs:
@@ -256,31 +282,16 @@ func SelectAlgorithm(n, p int, tuned bool) Algorithm {
 	}
 }
 
-// run dispatches to the implementation of a selected algorithm.
-func (a Algorithm) run(c mpi.Comm, buf []byte, root int) error {
-	switch a {
-	case AlgBinomial:
-		return BcastBinomial(c, buf, root)
-	case AlgScatterRdbAllgather:
-		return BcastScatterRdbAllgather(c, buf, root)
-	case AlgScatterRingAllgather:
-		return BcastScatterRingAllgather(c, buf, root)
-	case AlgScatterRingAllgatherOpt:
-		return BcastScatterRingAllgatherOpt(c, buf, root)
-	default:
-		return fmt.Errorf("collective: unknown algorithm %d", int(a))
-	}
-}
-
 // Bcast broadcasts buf from root using MPICH3's native algorithm
 // selection (short: binomial; medium power-of-two: scatter + recursive
-// doubling; long or medium non-power-of-two: scatter + enclosed ring).
+// doubling; long or medium non-power-of-two: scatter + enclosed ring),
+// dispatched through the registry by the default tuner.
 func Bcast(c mpi.Comm, buf []byte, root int) error {
-	return SelectAlgorithm(len(buf), c.Size(), false).run(c, buf, root)
+	return BcastWith(c, buf, root, tune.MPICH3{})
 }
 
 // BcastOpt is Bcast with the paper's tuned ring allgather on the
 // long-message and medium-non-power-of-two paths.
 func BcastOpt(c mpi.Comm, buf []byte, root int) error {
-	return SelectAlgorithm(len(buf), c.Size(), true).run(c, buf, root)
+	return BcastWith(c, buf, root, tune.MPICH3{Tuned: true})
 }

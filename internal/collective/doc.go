@@ -19,6 +19,31 @@
 //     inter-node scatter-ring-allgather among node leaders, intra-node
 //     binomial everywhere else).
 //
+// # Registry and tuning
+//
+// Every broadcast registers into a named registry (registry.go) as a
+// Registration: a stable name (the tune.* name constants), the
+// executable implementation, capability predicates (power-of-two-only,
+// minimum processes, multi-node-only, segmented), and — for algorithms
+// whose communication pattern is static — a schedule generator shared
+// with the verifier, the simulator, and the auto-tuner.
+//
+// Selection is delegated to internal/tune: Bcast and BcastOpt are thin
+// calls through BcastWith with the default tune.MPICH3 tuner, which
+// reproduces MPICH3's hardcoded dispatch bit-for-bit (golden-tested
+// against SelectAlgorithm). BcastWith accepts any Tuner — in particular
+// tune.TableTuner, which dispatches through a JSON tuning table derived
+// by tune.AutoTune from measured crossover points. RunDecision executes
+// a single tuner decision after checking it against the registered
+// capabilities, so a mis-keyed table fails loudly instead of hanging a
+// pow2-only algorithm on 129 ranks.
+//
+// New algorithms plug in by calling Register (or MustRegister at init
+// time); the CLI tools (bcastbench, bcastsim, transfercount) enumerate
+// the registry rather than keeping private switches, so a registered
+// algorithm is immediately benchmarkable, simulatable, countable, and
+// auto-tunable.
+//
 // Supporting collectives (Barrier, Scatter, Gather, Allgather, Reduce,
 // Allreduce) exist because the examples and the benchmark protocol need
 // them, mirroring how a real MPI application would use the library.
@@ -28,7 +53,10 @@
 // compatible arguments.
 package collective
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/tune"
+)
 
 // Reserved tags for collectives not covered by internal/core's phase tags.
 const (
@@ -38,19 +66,18 @@ const (
 	tagAllgather = 0x7F09
 )
 
-// MPICH3 broadcast dispatch thresholds (Section V of the paper: "The
-// message size threshold determined by MPICH3 to switch from short
-// messages to medium messages is 12288 bytes and ... from medium to long
-// messages is 524288 bytes").
+// MPICH3 broadcast dispatch thresholds, re-exported from internal/tune
+// (the selection subsystem owns them; see tune.ShortMsgSize and friends
+// for the paper's Section V provenance).
 const (
 	// BcastShortMsgSize: messages strictly below this use the binomial tree.
-	BcastShortMsgSize = 12288
+	BcastShortMsgSize = tune.ShortMsgSize
 	// BcastLongMsgSize: messages at or above this always use
 	// scatter-ring-allgather.
-	BcastLongMsgSize = 512 << 10
+	BcastLongMsgSize = tune.LongMsgSize
 	// BcastMinProcs: communicators smaller than this always use the
 	// binomial tree (MPIR_BCAST_MIN_PROCS in MPICH).
-	BcastMinProcs = 8
+	BcastMinProcs = tune.MinRingProcs
 )
 
 // Re-exported phase tags (defined next to the schedule generators so that

@@ -1,0 +1,254 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/tune"
+)
+
+// Capabilities are the hard constraints of a registered algorithm — what
+// it needs to run correctly, as opposed to when it is fast (the tuner's
+// concern).
+type Capabilities struct {
+	// MinProcs is the smallest communicator the algorithm accepts
+	// (0 = no minimum).
+	MinProcs int
+	// Pow2Only restricts the algorithm to power-of-two communicators.
+	Pow2Only bool
+	// MultiNodeOnly restricts the algorithm to placements spanning more
+	// than one node (the SMP-aware broadcasts degenerate to a plain
+	// binomial tree on one node, so selecting them there is meaningless).
+	MultiNodeOnly bool
+	// Segmented marks algorithms that take a segment-size parameter.
+	Segmented bool
+}
+
+// Match reports whether the environment satisfies the constraints.
+func (cp Capabilities) Match(e tune.Env) bool {
+	if cp.MinProcs > 0 && e.Procs < cp.MinProcs {
+		return false
+	}
+	if cp.Pow2Only && !e.Pow2() {
+		return false
+	}
+	if cp.MultiNodeOnly && !e.MultiNode() {
+		return false
+	}
+	return true
+}
+
+// Registration is one pluggable broadcast algorithm: a stable name, the
+// executable implementation, its capability constraints, and (when the
+// algorithm's communication pattern is data-independent and static) a
+// schedule generator for the verifier, the simulator, and the auto-tuner.
+type Registration struct {
+	// Name is the registry key (one of the tune.* algorithm names for the
+	// built-ins; extensions pick fresh names).
+	Name string
+	// Summary is a one-line human description, shown by the CLI tools.
+	Summary string
+	// Run executes the broadcast. segSize is meaningful only for
+	// Capabilities.Segmented algorithms (0 = the algorithm's default).
+	Run func(c mpi.Comm, buf []byte, root, segSize int) error
+	// Caps are the algorithm's hard constraints.
+	Caps Capabilities
+	// Program generates the static communication schedule, or is nil for
+	// algorithms whose schedule depends on runtime communicator state
+	// (the Split-based SMP broadcasts).
+	Program func(p, root, n, segSize int) (*sched.Program, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Registration{}
+)
+
+// Register adds an algorithm to the registry. Names must be unique and
+// non-empty, and a Run implementation is mandatory.
+func Register(r Registration) error {
+	if r.Name == "" {
+		return fmt.Errorf("collective: register: empty name")
+	}
+	if r.Run == nil {
+		return fmt.Errorf("collective: register %q: nil Run", r.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[r.Name]; dup {
+		return fmt.Errorf("collective: register %q: duplicate name", r.Name)
+	}
+	registry[r.Name] = r
+	return nil
+}
+
+// MustRegister is Register that panics on error; the built-in algorithms
+// use it at init time.
+func MustRegister(r Registration) {
+	if err := Register(r); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registration for name.
+func Lookup(name string) (Registration, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Names returns every registered algorithm name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Algorithms returns every registration, sorted by name.
+func Algorithms() []Registration {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Registration, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Candidates adapts the registry to the auto-tuner: every algorithm with
+// a static schedule becomes a tune.Candidate whose applicability is its
+// capability predicate.
+func Candidates() []tune.Candidate {
+	var out []tune.Candidate
+	for _, r := range Algorithms() {
+		if r.Program == nil {
+			continue
+		}
+		caps := r.Caps
+		out = append(out, tune.Candidate{
+			Name:    r.Name,
+			Applies: caps.Match,
+			Program: r.Program,
+		})
+	}
+	return out
+}
+
+// envOf builds the selection environment of a broadcast call.
+func envOf(c mpi.Comm, n int) tune.Env {
+	return tune.Env{Bytes: n, Procs: c.Size(), NumNodes: c.Topology().NumNodes()}
+}
+
+// RunDecision executes a tuner decision through the registry, after
+// checking the decided algorithm exists and its capabilities admit the
+// environment (a mis-keyed tuning table fails loudly, not with a hang or
+// a wrong answer deep inside an algorithm).
+func RunDecision(c mpi.Comm, buf []byte, root int, d tune.Decision) error {
+	r, ok := Lookup(d.Algorithm)
+	if !ok {
+		return fmt.Errorf("collective: unknown algorithm %q (registered: %v)", d.Algorithm, Names())
+	}
+	if e := envOf(c, len(buf)); !r.Caps.Match(e) {
+		return fmt.Errorf("collective: algorithm %q cannot run with %d bytes on %d ranks over %d node(s)",
+			d.Algorithm, e.Bytes, e.Procs, e.NumNodes)
+	}
+	return r.Run(c, buf, root, d.SegSize)
+}
+
+// BcastWith broadcasts buf from root using the algorithm t selects for
+// this communicator and message — the tuner-parameterized entry point
+// behind Bcast and BcastOpt.
+func BcastWith(c mpi.Comm, buf []byte, root int, t tune.Tuner) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	return RunDecision(c, buf, root, t.Decide(envOf(c, len(buf))))
+}
+
+// The built-in broadcast family. Every Bcast* entry point in this package
+// routes through these registrations (Bcast/BcastOpt via the default
+// tuner, the named functions via the same implementations).
+func init() {
+	MustRegister(Registration{
+		Name:    tune.Binomial,
+		Summary: "whole-buffer binomial tree (MPICH short-message)",
+		Run: func(c mpi.Comm, buf []byte, root, _ int) error {
+			return BcastBinomial(c, buf, root)
+		},
+		Program: func(p, root, n, _ int) (*sched.Program, error) {
+			return core.BinomialBcast(p, root, n), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.ScatterRdb,
+		Summary: "binomial scatter + recursive-doubling allgather (MPICH medium-message, pow2 only)",
+		Run: func(c mpi.Comm, buf []byte, root, _ int) error {
+			return BcastScatterRdbAllgather(c, buf, root)
+		},
+		Caps: Capabilities{Pow2Only: true},
+		Program: func(p, root, n, _ int) (*sched.Program, error) {
+			if !core.IsPow2(p) {
+				return nil, fmt.Errorf("collective: %s requires a power-of-two communicator, got %d", tune.ScatterRdb, p)
+			}
+			return core.BcastRdbProgram(p, root, n), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.RingNative,
+		Summary: "binomial scatter + enclosed ring allgather (MPI_Bcast_native)",
+		Run: func(c mpi.Comm, buf []byte, root, _ int) error {
+			return BcastScatterRingAllgather(c, buf, root)
+		},
+		Program: func(p, root, n, _ int) (*sched.Program, error) {
+			return core.BcastNativeProgram(p, root, n), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.RingOpt,
+		Summary: "binomial scatter + non-enclosed ring allgather (the paper's MPI_Bcast_opt)",
+		Run: func(c mpi.Comm, buf []byte, root, _ int) error {
+			return BcastScatterRingAllgatherOpt(c, buf, root)
+		},
+		Program: func(p, root, n, _ int) (*sched.Program, error) {
+			return core.BcastOptProgram(p, root, n), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.Chain,
+		Summary: "segmented pipeline-chain broadcast (extension baseline)",
+		Run: func(c mpi.Comm, buf []byte, root, segSize int) error {
+			return BcastChain(c, buf, root, segSize)
+		},
+		Caps: Capabilities{Segmented: true},
+		Program: func(p, root, n, segSize int) (*sched.Program, error) {
+			return core.ChainBcast(p, root, n, segSize), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.SMP,
+		Summary: "multi-core aware: intra-node binomial + native inter-node ring between leaders",
+		Run: func(c mpi.Comm, buf []byte, root, _ int) error {
+			return BcastSMP(c, buf, root)
+		},
+		Caps: Capabilities{MultiNodeOnly: true},
+	})
+	MustRegister(Registration{
+		Name:    tune.SMPOpt,
+		Summary: "multi-core aware: intra-node binomial + tuned inter-node ring between leaders",
+		Run: func(c mpi.Comm, buf []byte, root, _ int) error {
+			return BcastSMPOpt(c, buf, root)
+		},
+		Caps: Capabilities{MultiNodeOnly: true},
+	})
+}

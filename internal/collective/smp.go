@@ -47,6 +47,10 @@ func bcastSMP(c mpi.Comm, buf []byte, root int, tuned bool) error {
 	// root is its index among the node's ranks.
 	if myNode == rootNode {
 		localRoot := indexOf(topo.RanksOnNode(rootNode), root)
+		if localRoot < 0 {
+			return fmt.Errorf("collective: smp bcast: root %d not among ranks %v of its node %d (inconsistent topology)",
+				root, topo.RanksOnNode(rootNode), rootNode)
+		}
 		if err := BcastBinomial(nodeComm, buf, localRoot); err != nil {
 			return fmt.Errorf("collective: smp bcast phase 1: %w", err)
 		}

@@ -1,0 +1,187 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Candidate is one algorithm the auto-tuner may select: a registry name,
+// an applicability predicate, and a schedule generator the measurer can
+// replay. The collective registry adapts its entries to this shape
+// (collective.Candidates), keeping this package free of a dependency on
+// the executable implementations.
+type Candidate struct {
+	// Name is the registry name recorded in emitted decisions.
+	Name string
+	// SegSize is the segment-size parameter for segmented algorithms
+	// (0 for algorithms without one); it is copied into the decision.
+	SegSize int
+	// Applies reports whether the algorithm can run in e (nil = always).
+	Applies func(e Env) bool
+	// Program generates the algorithm's communication schedule.
+	Program func(p, root, n, segSize int) (*sched.Program, error)
+}
+
+// Measurer estimates the steady-state per-iteration time of a candidate
+// broadcast at one (p, n) grid point. Env reports the environment the
+// measurement runs in, so AutoTune can evaluate applicability predicates
+// consistently with the measurement topology.
+type Measurer interface {
+	Measure(c Candidate, p, n int) (float64, error)
+	Env(p, n int) Env
+}
+
+// SimMeasurer measures candidates on the netsim virtual-time cluster
+// model — fast enough for paper-scale grids (hundreds of ranks, tens of
+// megabytes) on a laptop.
+type SimMeasurer struct {
+	// Model is the cluster calibration (netsim.Hornet() when nil).
+	Model *netsim.Model
+	// CoresPerNode controls the blocked placement (<= 0: single node).
+	CoresPerNode int
+	// Warm and Total bound the steady-state replication (defaults 2, 6).
+	Warm, Total int
+	// Root is the broadcast root.
+	Root int
+}
+
+func (m SimMeasurer) fill() SimMeasurer {
+	if m.Model == nil {
+		m.Model = netsim.Hornet()
+	}
+	if m.Warm <= 0 {
+		m.Warm = 2
+	}
+	if m.Total <= m.Warm {
+		m.Total = m.Warm + 4
+	}
+	return m
+}
+
+func (m SimMeasurer) topo(p int) *topology.Map {
+	if m.CoresPerNode <= 0 {
+		return topology.SingleNode(p)
+	}
+	return topology.Blocked(p, m.CoresPerNode)
+}
+
+// Env implements Measurer.
+func (m SimMeasurer) Env(p, n int) Env {
+	return Env{Bytes: n, Procs: p, NumNodes: m.topo(p).NumNodes()}
+}
+
+// Measure implements Measurer.
+func (m SimMeasurer) Measure(c Candidate, p, n int) (float64, error) {
+	m = m.fill()
+	if c.Program == nil {
+		return 0, fmt.Errorf("tune: candidate %q has no static schedule", c.Name)
+	}
+	pr, err := c.Program(p, m.Root, n, c.SegSize)
+	if err != nil {
+		return 0, fmt.Errorf("tune: candidate %q at (p=%d, n=%d): %w", c.Name, p, n, err)
+	}
+	return netsim.SteadyStateIterTime(pr, m.topo(p), m.Model, m.Warm, m.Total)
+}
+
+// Winner is one auto-tuned grid point: the fastest applicable candidate
+// and its measured per-iteration time.
+type Winner struct {
+	Procs, Bytes int
+	Decision     Decision
+	Seconds      float64
+}
+
+// AutoTune measures every applicable candidate at every (procs x sizes)
+// grid point and derives a first-match rule Table from the winners: per
+// process count, adjacent sizes won by the same algorithm merge into one
+// size-band rule, reproducing the crossover-point tables of the
+// measurement-driven tuning literature. The winners themselves are
+// returned alongside for reporting.
+//
+// Candidates without a static schedule, or whose Applies predicate
+// rejects the measurement environment, are skipped at that point; a grid
+// point where no candidate can be measured is an error.
+func AutoTune(cands []Candidate, m Measurer, procs, sizes []int) (*Table, []Winner, error) {
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("tune: no candidates")
+	}
+	if len(procs) == 0 || len(sizes) == 0 {
+		return nil, nil, fmt.Errorf("tune: empty grid (%d procs, %d sizes)", len(procs), len(sizes))
+	}
+	procs = sortedCopy(procs)
+	sizes = sortedCopy(sizes)
+
+	var winners []Winner
+	for _, p := range procs {
+		for _, n := range sizes {
+			e := m.Env(p, n)
+			best := Winner{Procs: p, Bytes: n, Seconds: -1}
+			for _, c := range cands {
+				if c.Program == nil {
+					continue
+				}
+				if c.Applies != nil && !c.Applies(e) {
+					continue
+				}
+				dt, err := m.Measure(c, p, n)
+				if err != nil {
+					return nil, nil, err
+				}
+				if best.Seconds < 0 || dt < best.Seconds {
+					best.Seconds = dt
+					best.Decision = Decision{Algorithm: c.Name, SegSize: c.SegSize}
+				}
+			}
+			if best.Seconds < 0 {
+				return nil, nil, fmt.Errorf("tune: no measurable candidate at (p=%d, n=%d)", p, n)
+			}
+			winners = append(winners, best)
+		}
+	}
+
+	t := &Table{
+		Name:        "auto-tuned",
+		Description: fmt.Sprintf("auto-tuned over %d procs x %d sizes", len(procs), len(sizes)),
+	}
+	// One exact-procs rule per (p, winner run): the first band of each p
+	// extends down to 0 bytes and the last extends to infinity, so the
+	// table is total for tuned process counts and falls through to the
+	// tuner's fallback elsewhere.
+	for _, p := range procs {
+		var run []Winner
+		for _, w := range winners {
+			if w.Procs == p {
+				run = append(run, w)
+			}
+		}
+		for i := 0; i < len(run); {
+			j := i
+			for j+1 < len(run) && run[j+1].Decision == run[i].Decision {
+				j++
+			}
+			r := Rule{MinProcs: p, MaxProcs: p, Decision: run[i].Decision}
+			if i > 0 {
+				r.MinBytes = run[i].Bytes
+			}
+			if j+1 < len(run) {
+				r.MaxBytes = run[j+1].Bytes
+			}
+			t.Rules = append(t.Rules, r)
+			i = j + 1
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, winners, nil
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,161 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Rule is one decision rule of a tuning table. A rule matches an Env when
+// every constraint holds: message size in [MinBytes, MaxBytes) (MaxBytes
+// 0 = unbounded), process count in [MinProcs, MaxProcs] (MaxProcs 0 =
+// unbounded), and the optional tri-state topology constraints ("" = any,
+// "yes"/"no" otherwise).
+type Rule struct {
+	MinBytes int `json:"min_bytes,omitempty"`
+	MaxBytes int `json:"max_bytes,omitempty"`
+	MinProcs int `json:"min_procs,omitempty"`
+	MaxProcs int `json:"max_procs,omitempty"`
+	// Pow2 constrains the process count: "yes" requires a power of two,
+	// "no" requires a non-power-of-two, "" matches either.
+	Pow2 string `json:"pow2,omitempty"`
+	// MultiNode constrains the placement: "yes" requires ranks on more
+	// than one node, "no" requires a single node, "" matches either.
+	MultiNode string `json:"multi_node,omitempty"`
+
+	Decision Decision `json:"decision"`
+}
+
+func matchTri(constraint string, actual bool) (bool, error) {
+	switch constraint {
+	case "":
+		return true, nil
+	case "yes":
+		return actual, nil
+	case "no":
+		return !actual, nil
+	default:
+		return false, fmt.Errorf("tune: bad tri-state constraint %q (want \"\", \"yes\" or \"no\")", constraint)
+	}
+}
+
+// Matches reports whether the rule applies to e.
+func (r Rule) Matches(e Env) bool {
+	if e.Bytes < r.MinBytes || (r.MaxBytes > 0 && e.Bytes >= r.MaxBytes) {
+		return false
+	}
+	if e.Procs < r.MinProcs || (r.MaxProcs > 0 && e.Procs > r.MaxProcs) {
+		return false
+	}
+	if ok, err := matchTri(r.Pow2, e.Pow2()); err != nil || !ok {
+		return false
+	}
+	if ok, err := matchTri(r.MultiNode, e.MultiNode()); err != nil || !ok {
+		return false
+	}
+	return true
+}
+
+// Table is an ordered list of decision rules — the serializable product
+// of auto-tuning. Lookup scans rules in order and the first match wins,
+// so specific rules (exact process counts, narrow size bands) go first
+// and broad defaults last.
+type Table struct {
+	// Name identifies the table (e.g. the model it was tuned against).
+	Name string `json:"name"`
+	// Description is free-form provenance: grid, measurer, date.
+	Description string `json:"description,omitempty"`
+	Rules       []Rule `json:"rules"`
+}
+
+// Lookup returns the decision of the first matching rule.
+func (t *Table) Lookup(e Env) (Decision, bool) {
+	for _, r := range t.Rules {
+		if r.Matches(e) {
+			return r.Decision, true
+		}
+	}
+	return Decision{}, false
+}
+
+// Validate checks structural sanity: every rule names an algorithm, has
+// coherent ranges, and uses valid tri-state constraints.
+func (t *Table) Validate() error {
+	for i, r := range t.Rules {
+		if r.Decision.Algorithm == "" {
+			return fmt.Errorf("tune: table %q rule %d: empty algorithm", t.Name, i)
+		}
+		if r.MinBytes < 0 || (r.MaxBytes > 0 && r.MaxBytes <= r.MinBytes) {
+			return fmt.Errorf("tune: table %q rule %d: bad byte range [%d, %d)", t.Name, i, r.MinBytes, r.MaxBytes)
+		}
+		if r.MinProcs < 0 || (r.MaxProcs > 0 && r.MaxProcs < r.MinProcs) {
+			return fmt.Errorf("tune: table %q rule %d: bad proc range [%d, %d]", t.Name, i, r.MinProcs, r.MaxProcs)
+		}
+		if _, err := matchTri(r.Pow2, true); err != nil {
+			return fmt.Errorf("tune: table %q rule %d: pow2: %w", t.Name, i, err)
+		}
+		if _, err := matchTri(r.MultiNode, true); err != nil {
+			return fmt.Errorf("tune: table %q rule %d: multi_node: %w", t.Name, i, err)
+		}
+		if r.Decision.SegSize < 0 {
+			return fmt.Errorf("tune: table %q rule %d: negative seg_size %d", t.Name, i, r.Decision.SegSize)
+		}
+	}
+	return nil
+}
+
+// JSON serializes the table, indented for human inspection.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// ParseTable deserializes and validates a table.
+func ParseTable(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("tune: parse table: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTable reads and validates a table from a JSON file.
+func LoadTable(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tune: load table: %w", err)
+	}
+	return ParseTable(data)
+}
+
+// SaveTable writes the table as indented JSON.
+func SaveTable(t *Table, path string) error {
+	data, err := t.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// TableTuner dispatches through a tuning table, falling back to another
+// tuner (MPICH3 native dispatch when Fallback is nil) for environments no
+// rule covers.
+type TableTuner struct {
+	Table    *Table
+	Fallback Tuner
+}
+
+// Decide implements Tuner.
+func (t TableTuner) Decide(e Env) Decision {
+	if t.Table != nil {
+		if d, ok := t.Table.Lookup(e); ok {
+			return d
+		}
+	}
+	if t.Fallback != nil {
+		return t.Fallback.Decide(e)
+	}
+	return MPICH3{}.Decide(e)
+}

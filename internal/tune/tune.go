@@ -1,0 +1,125 @@
+// Package tune is the broadcast-algorithm selection subsystem.
+//
+// The reproduced paper's central observation is that which broadcast
+// algorithm wins depends on the message size, the process count, and the
+// topology — MPICH3 hardcodes that choice behind fixed thresholds.
+// This package makes selection itself a first-class, replaceable layer:
+//
+//   - Env is the selection key: message size, process count, node count;
+//   - Decision names a registered algorithm plus its parameters
+//     (currently the segment size for pipelined schedules);
+//   - Tuner maps Env to Decision. MPICH3 is the default tuner and
+//     reproduces MPICH3's dispatch bit-for-bit (golden-tested against
+//     collective.SelectAlgorithm);
+//   - Table is a JSON-serializable rule list (size/procs/topology-keyed,
+//     first match wins) and TableTuner dispatches through one;
+//   - AutoTune sweeps Candidates over a (procs x sizes) grid with a
+//     Measurer — virtual-time netsim by default, the real engine via
+//     internal/bench — and derives a Table from the per-point winners,
+//     the measured crossover points of the paper's Section V.
+//
+// The executable algorithms live in internal/collective and register
+// themselves into a registry keyed by the names below; internal/collective
+// depends on this package (for Env/Decision/Tuner), never the reverse.
+package tune
+
+import "repro/internal/core"
+
+// Registered broadcast algorithm names. The collective registry and every
+// tuning table use these strings; they are the stable, CLI-friendly
+// identifiers of the algorithm family.
+const (
+	// Binomial is the whole-buffer binomial tree (MPICH short-message).
+	Binomial = "binomial"
+	// ScatterRdb is binomial scatter + recursive-doubling allgather
+	// (MPICH medium-message, power-of-two communicators only).
+	ScatterRdb = "scatter-rdb-allgather"
+	// RingNative is binomial scatter + enclosed ring allgather — the
+	// paper's MPI_Bcast_native (MPICH long-message).
+	RingNative = "scatter-ring-allgather"
+	// RingOpt is binomial scatter + the paper's non-enclosed ring
+	// allgather — MPI_Bcast_opt.
+	RingOpt = "scatter-ring-allgather-opt"
+	// Chain is the segmented pipeline-chain broadcast (extension
+	// baseline; takes a segment-size parameter).
+	Chain = "chain"
+	// SMP is the multi-core aware broadcast with the native inter-node
+	// ring; SMPOpt uses the paper's tuned ring between node leaders.
+	SMP    = "smp"
+	SMPOpt = "smp-opt"
+)
+
+// MPICH3 broadcast dispatch thresholds (Section V of the paper: "The
+// message size threshold determined by MPICH3 to switch from short
+// messages to medium messages is 12288 bytes and ... from medium to long
+// messages is 524288 bytes").
+const (
+	// ShortMsgSize: messages strictly below this use the binomial tree.
+	ShortMsgSize = 12288
+	// LongMsgSize: messages at or above this always use
+	// scatter-ring-allgather.
+	LongMsgSize = 512 << 10
+	// MinRingProcs: communicators smaller than this always use the
+	// binomial tree (MPIR_BCAST_MIN_PROCS in MPICH).
+	MinRingProcs = 8
+)
+
+// Env is the selection key a Tuner decides on: everything about a
+// broadcast call that is known before any byte moves.
+type Env struct {
+	// Bytes is the broadcast message size.
+	Bytes int
+	// Procs is the communicator size.
+	Procs int
+	// NumNodes is the number of distinct nodes hosting the communicator's
+	// ranks (0 or 1 means single-node; selection must not depend on the
+	// difference).
+	NumNodes int
+}
+
+// Pow2 reports whether the process count is a power of two.
+func (e Env) Pow2() bool { return core.IsPow2(e.Procs) }
+
+// MultiNode reports whether the communicator spans more than one node.
+func (e Env) MultiNode() bool { return e.NumNodes > 1 }
+
+// Decision is a tuner's verdict: the registry name of the algorithm to
+// run and its parameters.
+type Decision struct {
+	// Algorithm is the registered algorithm name (e.g. RingOpt).
+	Algorithm string `json:"algorithm"`
+	// SegSize is the segment size in bytes for segmented (pipelined)
+	// algorithms; 0 means the algorithm's default.
+	SegSize int `json:"seg_size,omitempty"`
+}
+
+// Tuner selects a broadcast algorithm for an environment. Implementations
+// must be pure: the same Env always yields the same Decision, and Decide
+// must be safe for concurrent use (every rank of a communicator calls it
+// and all must agree).
+type Tuner interface {
+	Decide(e Env) Decision
+}
+
+// MPICH3 is the default tuner: the dispatch MPICH3 hardcodes, reproduced
+// bit-for-bit (short: binomial; medium power-of-two: scatter +
+// recursive doubling; long or medium non-power-of-two: scatter + ring).
+// With Tuned set, the ring path selects the paper's non-enclosed ring.
+type MPICH3 struct {
+	// Tuned selects the paper's optimized ring on the ring paths.
+	Tuned bool
+}
+
+// Decide implements Tuner.
+func (m MPICH3) Decide(e Env) Decision {
+	switch {
+	case e.Bytes < ShortMsgSize || e.Procs < MinRingProcs:
+		return Decision{Algorithm: Binomial}
+	case e.Bytes < LongMsgSize && e.Pow2():
+		return Decision{Algorithm: ScatterRdb}
+	case m.Tuned:
+		return Decision{Algorithm: RingOpt}
+	default:
+		return Decision{Algorithm: RingNative}
+	}
+}
