@@ -11,8 +11,10 @@
 //
 // Comparing -algo native against -algo opt reproduces the paper's
 // MPI_Bcast_native / MPI_Bcast_opt comparison at laptop scale. -algo also
-// accepts any algorithm registered in internal/collective (see -list),
-// and -tune-table dispatches every broadcast through a JSON tuning table
+// accepts any algorithm registered in internal/collective (see -list) —
+// including the segmented ring family (scatter-ring-allgather-seg,
+// scatter-ring-allgather-opt-seg), whose segment size -seg selects — and
+// -tune-table dispatches every broadcast through a JSON tuning table
 // produced by the auto-tuner (bcastsim -autotune).
 package main
 

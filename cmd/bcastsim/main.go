@@ -15,7 +15,11 @@
 //
 //	bcastsim -algo scatter-ring-allgather-opt,chain -np 64   # bandwidth curves by registry name
 //	bcastsim -autotune -np 16,64,129 -o table.json           # derive a tuning table on the model
+//	bcastsim -autotune -candidates mpich -segs 8192,65536 -placements blocked:24,round-robin:24
+//	                                                         # sweep segment sizes and placements;
+//	                                                         # emits per-topology rule groups
 //	bcastsim -tune-table table.json -np 16,64,129            # tuned-vs-native comparison
+//	bcastsim -tune-table table.json -placements blocked:24,round-robin:24   # per-placement breakdown
 package main
 
 import (
@@ -44,6 +48,8 @@ func main() {
 		minFlag      = flag.Int("min", 16<<10, "smallest message size for -algo/-autotune/-tune-table sweeps")
 		maxFlag      = flag.Int("max", 4<<20, "largest message size for -algo/-autotune/-tune-table sweeps")
 		segFlag      = flag.Int("seg", 0, "segment size for segmented algorithms (0 = default)")
+		segsFlag     = flag.String("segs", "", "comma-separated segment sizes for -autotune: sweep every segmented candidate over these instead of its default")
+		placeFlag    = flag.String("placements", "", "comma-separated placements for -autotune/-tune-table: single|blocked:N|round-robin:N; emits per-topology rule groups")
 		autotuneFlag = flag.Bool("autotune", false, "auto-tune over the registry and emit a JSON tuning table")
 		candFlag     = flag.String("candidates", "all", "auto-tune candidate set: all (whole registry) | mpich (the dispatcher's own family)")
 		tableFlag    = flag.String("tune-table", "", "JSON tuning table: report tuned-vs-native dispatch on the model")
@@ -86,7 +92,33 @@ func main() {
 		for n := *minFlag; n <= *maxFlag; n *= 2 {
 			sizes = append(sizes, n)
 		}
-		if err := runTuning(cfg, procs, sizes, *algoFlag, *segFlag, *autotuneFlag, *candFlag, *tableFlag, *outFlag); err != nil {
+		segs, err := parseInts(*segsFlag, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcastsim: -segs: %v\n", err)
+			os.Exit(2)
+		}
+		placements, err := parsePlacements(*placeFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcastsim: -placements: %v\n", err)
+			os.Exit(2)
+		}
+		// The sweep flags only act in specific modes; reject them elsewhere
+		// rather than printing plausible but un-swept output.
+		if len(segs) > 0 && !*autotuneFlag {
+			fmt.Fprintln(os.Stderr, "bcastsim: -segs requires -autotune (use -seg for -algo curves)")
+			os.Exit(2)
+		}
+		if len(placements) > 0 && !*autotuneFlag && *tableFlag == "" {
+			fmt.Fprintln(os.Stderr, "bcastsim: -placements requires -autotune or -tune-table")
+			os.Exit(2)
+		}
+		opts := tuningOpts{
+			algos: *algoFlag, seg: *segFlag,
+			autotune: *autotuneFlag, candSet: *candFlag,
+			tablePath: *tableFlag, outPath: *outFlag,
+			segs: segs, placements: placements,
+		}
+		if err := runTuning(cfg, procs, sizes, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "bcastsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -162,31 +194,71 @@ func parseInts(s string, def []int) ([]int, error) {
 	return out, nil
 }
 
+// tuningOpts bundles the registry-facing CLI options.
+type tuningOpts struct {
+	algos      string
+	seg        int
+	autotune   bool
+	candSet    string
+	tablePath  string
+	outPath    string
+	segs       []int
+	placements []tune.Placement
+}
+
+// parsePlacements parses a comma-separated placement list
+// ("single,blocked:24,round-robin:24").
+func parsePlacements(s string) ([]tune.Placement, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []tune.Placement
+	for _, tok := range strings.Split(s, ",") {
+		pl, err := tune.ParsePlacement(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pl)
+	}
+	return out, nil
+}
+
 // runTuning handles the registry-facing modes: -algo bandwidth curves,
-// -autotune table derivation, and -tune-table comparison.
-func runTuning(cfg bench.SimConfig, procs, sizes []int, algos string, seg int, autotune bool, candSet, tablePath, outPath string) error {
+// -autotune table derivation (optionally sweeping segment sizes and
+// placements), and -tune-table comparison.
+func runTuning(cfg bench.SimConfig, procs, sizes []int, o tuningOpts) error {
 	switch {
-	case autotune:
+	case o.autotune:
 		var cands []tune.Candidate
-		switch candSet {
+		switch o.candSet {
 		case "all":
 			// nil = the whole registry
 		case "mpich":
 			cands = bench.FamilyCandidates()
 		default:
-			return fmt.Errorf("unknown -candidates %q (all|mpich)", candSet)
+			return fmt.Errorf("unknown -candidates %q (all|mpich)", o.candSet)
 		}
-		table, winners, err := bench.AutoTuneSim(cfg, cands, procs, sizes)
+		var (
+			table   *tune.Table
+			winners []tune.Winner
+			err     error
+		)
+		if len(o.segs) > 0 || len(o.placements) > 0 {
+			sweep := tune.SweepConfig{Procs: procs, Sizes: sizes, SegSizes: o.segs, Placements: o.placements}
+			table, winners, err = bench.AutoTuneSweepSim(cfg, cands, sweep)
+		} else {
+			table, winners, err = bench.AutoTuneSim(cfg, cands, procs, sizes)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Println("# auto-tuner grid winners:")
 		fmt.Print(bench.FormatWinners(winners))
-		if outPath != "" {
-			if err := tune.SaveTable(table, outPath); err != nil {
+		if o.outPath != "" {
+			if err := tune.SaveTable(table, o.outPath); err != nil {
 				return err
 			}
-			fmt.Printf("# tuning table written to %s (%d rules)\n", outPath, len(table.Rules))
+			fmt.Printf("# tuning table written to %s (%d rules)\n", o.outPath, len(table.Rules))
 			return nil
 		}
 		data, err := table.JSON()
@@ -197,12 +269,12 @@ func runTuning(cfg bench.SimConfig, procs, sizes []int, algos string, seg int, a
 		fmt.Println(string(data))
 		return nil
 
-	case tablePath != "":
-		table, err := tune.LoadTable(tablePath)
+	case o.tablePath != "":
+		table, err := tune.LoadTable(o.tablePath)
 		if err != nil {
 			return err
 		}
-		rows, err := bench.CompareTuned(cfg, table, procs, sizes)
+		rows, err := bench.CompareTunedPlaced(cfg, table, procs, sizes, o.placements)
 		if err != nil {
 			return err
 		}
@@ -211,7 +283,7 @@ func runTuning(cfg bench.SimConfig, procs, sizes []int, algos string, seg int, a
 		return nil
 
 	default:
-		names := strings.Split(algos, ",")
+		names := strings.Split(o.algos, ",")
 		for i := range names {
 			names[i] = strings.TrimSpace(names[i])
 		}
@@ -219,17 +291,17 @@ func runTuning(cfg bench.SimConfig, procs, sizes []int, algos string, seg int, a
 			fmt.Printf("# simulated bandwidth (MB/s), model %q, np=%d\n", cfg.Model.Name, p)
 			fmt.Printf("%-12s", "bytes")
 			for _, name := range names {
-				fmt.Printf(" %28s", name)
+				fmt.Printf(" %30s", name)
 			}
 			fmt.Println()
 			for _, n := range sizes {
 				fmt.Printf("%-12d", n)
 				for _, name := range names {
-					r, err := bench.MeasureSimDecision(cfg, tune.Decision{Algorithm: name, SegSize: seg}, p, n)
+					r, err := bench.MeasureSimDecision(cfg, tune.Decision{Algorithm: name, SegSize: o.seg}, p, n)
 					if err != nil {
 						return err
 					}
-					fmt.Printf(" %28.2f", r.MBps)
+					fmt.Printf(" %30.2f", r.MBps)
 				}
 				fmt.Println()
 			}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/mpi"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/tune"
 )
@@ -125,7 +126,7 @@ func countAlgos(names []string, ps []int, n, seg int) error {
 		names[i] = strings.TrimSpace(names[i])
 	}
 	fmt.Printf("# whole-broadcast schedule traffic, n=%d bytes\n", n)
-	fmt.Printf("%-6s %-28s %12s %14s\n", "P", "algorithm", "messages", "bytes")
+	fmt.Printf("%-6s %-30s %12s %14s\n", "P", "algorithm", "messages", "bytes")
 	for _, p := range ps {
 		for _, name := range names {
 			reg, ok := collective.Lookup(name)
@@ -133,16 +134,16 @@ func countAlgos(names []string, ps []int, n, seg int) error {
 				return fmt.Errorf("unknown algorithm %q (registry: %s)", name, strings.Join(collective.Names(), ", "))
 			}
 			if reg.Program == nil {
-				fmt.Printf("%-6d %-28s %12s %14s\n", p, name, "-", "-")
+				fmt.Printf("%-6d %-30s %12s %14s\n", p, name, "-", "-")
 				continue
 			}
 			pr, err := reg.Program(p, 0, n, seg)
 			if err != nil {
-				fmt.Printf("%-6d %-28s %12s %14s\n", p, name, "n/a", err.Error())
+				fmt.Printf("%-6d %-30s %12s %14s\n", p, name, "n/a", err.Error())
 				continue
 			}
 			st := pr.Stats()
-			fmt.Printf("%-6d %-28s %12d %14d\n", p, name, st.Messages, st.Bytes)
+			fmt.Printf("%-6d %-30s %12d %14d\n", p, name, st.Messages, st.Bytes)
 		}
 	}
 	return nil
@@ -160,16 +161,16 @@ func countTable(path string, ps []int, n, cores int) error {
 	}
 	tuner := tune.TableTuner{Table: table, Fallback: tune.MPICH3{}}
 	fmt.Printf("# tuning-table dispatch, table %q, n=%d bytes\n", table.Name, n)
-	fmt.Printf("%-6s %-28s %12s %14s\n", "P", "decision", "messages", "bytes")
+	fmt.Printf("%-6s %-30s %12s %14s\n", "P", "decision", "messages", "bytes")
 	for _, p := range ps {
-		nodes := 1
+		topo := topology.SingleNode(p)
 		if cores > 0 {
-			nodes = (p + cores - 1) / cores
+			topo = topology.Blocked(p, cores)
 		}
-		d := tuner.Decide(tune.Env{Bytes: n, Procs: p, NumNodes: nodes})
+		d := tuner.Decide(tune.EnvOf(n, p, topo))
 		reg, ok := collective.Lookup(d.Algorithm)
 		if !ok || reg.Program == nil {
-			fmt.Printf("%-6d %-28s %12s %14s\n", p, d.Algorithm, "-", "-")
+			fmt.Printf("%-6d %-30s %12s %14s\n", p, d.Algorithm, "-", "-")
 			continue
 		}
 		pr, err := reg.Program(p, 0, n, d.SegSize)
@@ -177,7 +178,7 @@ func countTable(path string, ps []int, n, cores int) error {
 			return err
 		}
 		st := pr.Stats()
-		fmt.Printf("%-6d %-28s %12d %14d\n", p, d.Algorithm, st.Messages, st.Bytes)
+		fmt.Printf("%-6d %-30s %12d %14d\n", p, d.Algorithm, st.Messages, st.Bytes)
 	}
 	return nil
 }

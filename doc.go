@@ -24,7 +24,14 @@
 // BcastOpt dispatch through a Tuner (default: MPICH3's thresholds,
 // reproduced bit-for-bit), and tune.AutoTune derives JSON tuning tables
 // from measured crossover points on the simulated cluster (bcastsim
-// -autotune) or the real engine. See internal/tune's package
+// -autotune) or the real engine. Segmentation is generalized from the
+// chain broadcast to the whole scatter-ring family
+// (scatter-ring-allgather-seg, scatter-ring-allgather-opt-seg), and
+// tune.AutoTuneSweep re-measures the grid across segment sizes and
+// process placements (blocked vs round-robin at varying cores per node;
+// bcastsim -segs/-placements), emitting placement-keyed rule groups that
+// resolve at run time through the environment collective.BcastWith
+// derives from Comm.Topology(). See internal/tune's package
 // documentation for the architecture.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of

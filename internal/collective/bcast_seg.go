@@ -1,0 +1,114 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// ringAllgatherSeg runs the segmented ring allgather phase: the same
+// P-1-step ring as ringAllgather, with every chunk transfer pipelined in
+// segSize pieces (see core.RingAllgatherNativeSeg / TunedSeg for the
+// schedule-level description). With tuned=true the ownership-aware
+// degeneration of the paper's non-enclosed ring applies to every segment
+// of the affected steps.
+func ringAllgatherSeg(c mpi.Comm, buf []byte, root int, tuned bool, segSize int) error {
+	p, rank := c.Size(), c.Rank()
+	if segSize <= 0 {
+		segSize = core.DefaultRingSegment
+	}
+	l := core.NewLayout(len(buf), p)
+	left := (p + rank - 1) % p
+	right := (rank + 1) % p
+
+	var sf core.StepFlag
+	if tuned {
+		sf = core.ComputeStepFlag(core.RelRank(rank, root, p), p)
+	}
+
+	j, jnext := rank, left
+	for i := 1; i < p; i++ {
+		relJ := core.RelRank(j, root, p)
+		relJnext := core.RelRank(jnext, root, p)
+		sendCnt, recvCnt := l.Count(relJ), l.Count(relJnext)
+		sendDisp, recvDisp := l.Disp(relJ), l.Disp(relJnext)
+
+		doSend, doRecv := true, true
+		if tuned && sf.Step > p-i {
+			doSend, doRecv = !sf.RecvOnly, sf.RecvOnly
+		}
+		rounds := 0
+		if doSend {
+			rounds = core.RingSegments(sendCnt, segSize)
+		}
+		if doRecv {
+			if r := core.RingSegments(recvCnt, segSize); r > rounds {
+				rounds = r
+			}
+		}
+		for s := 0; s < rounds; s++ {
+			var sendBuf, recvBuf []byte
+			sOK := doSend && s < core.RingSegments(sendCnt, segSize)
+			rOK := doRecv && s < core.RingSegments(recvCnt, segSize)
+			if sOK {
+				off, length := core.SegSpan(sendCnt, segSize, s)
+				sendBuf = buf[sendDisp+off : sendDisp+off+length]
+			}
+			if rOK {
+				off, length := core.SegSpan(recvCnt, segSize, s)
+				recvBuf = buf[recvDisp+off : recvDisp+off+length]
+			}
+			switch {
+			case sOK && rOK:
+				if _, err := c.Sendrecv(sendBuf, right, core.TagRing, recvBuf, left, core.TagRing); err != nil {
+					return fmt.Errorf("collective: seg ring step %d seg %d sendrecv: %w", i, s, err)
+				}
+			case rOK:
+				if _, err := c.Recv(recvBuf, left, core.TagRing); err != nil {
+					return fmt.Errorf("collective: seg ring step %d seg %d recv: %w", i, s, err)
+				}
+			case sOK:
+				if err := c.Send(sendBuf, right, core.TagRing); err != nil {
+					return fmt.Errorf("collective: seg ring step %d seg %d send: %w", i, s, err)
+				}
+			}
+		}
+		j = jnext
+		jnext = (p + jnext - 1) % p
+	}
+	return nil
+}
+
+// BcastScatterRingAllgatherSeg is the segmented native broadcast:
+// binomial scatter followed by the enclosed ring allgather pipelined in
+// segSize chunks. segSize <= 0 selects core.DefaultRingSegment.
+func BcastScatterRingAllgatherSeg(c mpi.Comm, buf []byte, root, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if c.Size() == 1 {
+		return nil
+	}
+	if err := scatterForBcast(c, buf, root); err != nil {
+		return err
+	}
+	return ringAllgatherSeg(c, buf, root, false, segSize)
+}
+
+// BcastScatterRingAllgatherOptSeg is the segmented tuned broadcast:
+// binomial scatter followed by the paper's non-enclosed ring allgather
+// pipelined in segSize chunks. segSize <= 0 selects
+// core.DefaultRingSegment.
+func BcastScatterRingAllgatherOptSeg(c mpi.Comm, buf []byte, root, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if c.Size() == 1 {
+		return nil
+	}
+	if err := scatterForBcast(c, buf, root); err != nil {
+		return err
+	}
+	return ringAllgatherSeg(c, buf, root, true, segSize)
+}

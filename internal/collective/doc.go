@@ -10,6 +10,10 @@
 //   - BcastScatterRingAllgatherOpt — the paper's contribution
 //     (binomial scatter + non-enclosed ring allgather), a faithful port
 //     of Listing 1, the paper's MPI_Bcast_opt;
+//   - BcastScatterRingAllgatherSeg / BcastScatterRingAllgatherOptSeg —
+//     segmented variants of the two rings that pipeline the allgather
+//     phase in SegSize chunks (segmentation generalized from the chain
+//     broadcast to the scatter-ring family);
 //   - BcastScatterRdbAllgather — MPICH's medium-message power-of-two
 //     algorithm (binomial scatter + recursive-doubling allgather);
 //   - Bcast / BcastOpt — MPICH3's size/process-count dispatch over the

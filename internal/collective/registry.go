@@ -137,17 +137,21 @@ func Candidates() []tune.Candidate {
 		}
 		caps := r.Caps
 		out = append(out, tune.Candidate{
-			Name:    r.Name,
-			Applies: caps.Match,
-			Program: r.Program,
+			Name:      r.Name,
+			Segmented: caps.Segmented,
+			Applies:   caps.Match,
+			Program:   r.Program,
 		})
 	}
 	return out
 }
 
-// envOf builds the selection environment of a broadcast call.
+// envOf builds the selection environment of a broadcast call. Node
+// count, node occupancy and placement classification are all carried
+// through the communicator's topology, so placement-keyed tuning rules
+// resolve at run time exactly as they were derived.
 func envOf(c mpi.Comm, n int) tune.Env {
-	return tune.Env{Bytes: n, Procs: c.Size(), NumNodes: c.Topology().NumNodes()}
+	return tune.EnvOf(n, c.Size(), c.Topology())
 }
 
 // RunDecision executes a tuner decision through the registry, after
@@ -222,6 +226,28 @@ func init() {
 		},
 		Program: func(p, root, n, _ int) (*sched.Program, error) {
 			return core.BcastOptProgram(p, root, n), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.RingSeg,
+		Summary: "binomial scatter + segmented enclosed ring allgather (pipelined native)",
+		Run: func(c mpi.Comm, buf []byte, root, segSize int) error {
+			return BcastScatterRingAllgatherSeg(c, buf, root, segSize)
+		},
+		Caps: Capabilities{Segmented: true},
+		Program: func(p, root, n, segSize int) (*sched.Program, error) {
+			return core.BcastNativeSegProgram(p, root, n, segSize), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.RingOptSeg,
+		Summary: "binomial scatter + segmented non-enclosed ring allgather (pipelined MPI_Bcast_opt)",
+		Run: func(c mpi.Comm, buf []byte, root, segSize int) error {
+			return BcastScatterRingAllgatherOptSeg(c, buf, root, segSize)
+		},
+		Caps: Capabilities{Segmented: true},
+		Program: func(p, root, n, segSize int) (*sched.Program, error) {
+			return core.BcastOptSegProgram(p, root, n, segSize), nil
 		},
 	})
 	MustRegister(Registration{

@@ -17,7 +17,8 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		tune.Binomial, tune.Chain, tune.ScatterRdb,
-		tune.RingNative, tune.RingOpt, tune.SMP, tune.SMPOpt,
+		tune.RingNative, tune.RingOpt, tune.RingSeg, tune.RingOptSeg,
+		tune.SMP, tune.SMPOpt,
 	}
 	for _, name := range want {
 		r, ok := Lookup(name)
@@ -84,8 +85,10 @@ func TestRegistryCapabilities(t *testing.T) {
 	if r, _ := Lookup(tune.ScatterRdb); !r.Caps.Pow2Only {
 		t.Error("scatter-rdb must be Pow2Only")
 	}
-	if r, _ := Lookup(tune.Chain); !r.Caps.Segmented {
-		t.Error("chain must be Segmented")
+	for _, name := range []string{tune.Chain, tune.RingSeg, tune.RingOptSeg} {
+		if r, _ := Lookup(name); !r.Caps.Segmented {
+			t.Errorf("%s must be Segmented", name)
+		}
 	}
 	for _, name := range []string{tune.SMP, tune.SMPOpt} {
 		if r, _ := Lookup(name); !r.Caps.MultiNodeOnly {

@@ -157,6 +157,81 @@ func TestTunedNeverSendsMore(t *testing.T) {
 	}
 }
 
+// TestOptMovesFewerInterNodeBytes asserts the paper's headline invariant
+// as a regression test: at every long-message grid point, on every
+// multi-node placement, the tuned broadcast — and its segmented variant —
+// moves strictly fewer inter-node bytes (and messages) than the native
+// ring. This is the bandwidth saving the paper claims, measured on real
+// traced execution rather than the analytic model.
+func TestOptMovesFewerInterNodeBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moves megabytes per grid point")
+	}
+	const seg = 48 << 10 // below the chunk size at every grid point
+	optSeg := func(c mpi.Comm, buf []byte, root int) error {
+		return BcastScatterRingAllgatherOptSeg(c, buf, root, seg)
+	}
+	for _, p := range []int{8, 10, 12} {
+		for _, topo := range []*topology.Map{
+			topology.Blocked(p, 4),
+			topology.RoundRobin(p, 4),
+		} {
+			for _, n := range []int{512 << 10, 1 << 20} { // the paper's long-message regime
+				opts := engine.Options{NP: p, Topology: topo}
+				nat := measureBcast(t, BcastScatterRingAllgather, opts, 0, n)
+				opt := measureBcast(t, BcastScatterRingAllgatherOpt, opts, 0, n)
+				optS := measureBcast(t, optSeg, opts, 0, n)
+
+				if opt.Inter.Bytes >= nat.Inter.Bytes {
+					t.Errorf("%s n=%d: opt inter bytes %d >= native %d", topo, n, opt.Inter.Bytes, nat.Inter.Bytes)
+				}
+				if optS.Inter.Bytes >= nat.Inter.Bytes {
+					t.Errorf("%s n=%d: opt-seg inter bytes %d >= native %d", topo, n, optS.Inter.Bytes, nat.Inter.Bytes)
+				}
+				if opt.Inter.Messages >= nat.Inter.Messages {
+					t.Errorf("%s n=%d: opt inter messages %d >= native %d", topo, n, opt.Inter.Messages, nat.Inter.Messages)
+				}
+				// The segmented variant re-partitions messages but must move
+				// exactly the tuned ring's byte volume, inter and intra.
+				if optS.Inter.Bytes != opt.Inter.Bytes || optS.Intra.Bytes != opt.Intra.Bytes {
+					t.Errorf("%s n=%d: opt-seg bytes inter/intra %d/%d != opt %d/%d",
+						topo, n, optS.Inter.Bytes, optS.Intra.Bytes, opt.Inter.Bytes, opt.Intra.Bytes)
+				}
+			}
+		}
+	}
+}
+
+// TestSegCollectivesMatchSchedules cross-validates the hand-written
+// segmented collectives against their generated schedules: the traced
+// message and byte totals of an execution must equal the program stats,
+// for both variants, across segment sizes that split chunks unevenly.
+func TestSegCollectivesMatchSchedules(t *testing.T) {
+	for _, p := range []int{2, 5, 8, 10, 13} {
+		for _, seg := range []int{1, 7, 64} {
+			n := 32*p + 5
+			for _, root := range []int{0, p - 1} {
+				natStats := measureBcast(t, func(c mpi.Comm, buf []byte, r int) error {
+					return BcastScatterRingAllgatherSeg(c, buf, r, seg)
+				}, engine.Options{NP: p}, root, n)
+				natProg := core.BcastNativeSegProgram(p, root, n, seg).Stats()
+				if natStats.Total.Messages != int64(natProg.Messages) || natStats.Total.Bytes != int64(natProg.Bytes) {
+					t.Fatalf("p=%d root=%d seg=%d: native-seg traced %d/%d != schedule %d/%d",
+						p, root, seg, natStats.Total.Messages, natStats.Total.Bytes, natProg.Messages, natProg.Bytes)
+				}
+				optStats := measureBcast(t, func(c mpi.Comm, buf []byte, r int) error {
+					return BcastScatterRingAllgatherOptSeg(c, buf, r, seg)
+				}, engine.Options{NP: p}, root, n)
+				optProg := core.BcastOptSegProgram(p, root, n, seg).Stats()
+				if optStats.Total.Messages != int64(optProg.Messages) || optStats.Total.Bytes != int64(optProg.Bytes) {
+					t.Fatalf("p=%d root=%d seg=%d: opt-seg traced %d/%d != schedule %d/%d",
+						p, root, seg, optStats.Total.Messages, optStats.Total.Bytes, optProg.Messages, optProg.Bytes)
+				}
+			}
+		}
+	}
+}
+
 // TestNBRingIdenticalTraffic: the nonblocking tuned ring transfers
 // exactly the blocking tuned ring's messages and bytes.
 func TestNBRingIdenticalTraffic(t *testing.T) {

@@ -1,0 +1,144 @@
+package core
+
+import "repro/internal/sched"
+
+// This file generalizes segmentation from the chain broadcast to the
+// scatter-ring family: segmented variants of the enclosed (native) and
+// non-enclosed (tuned) ring allgathers that pipeline each ring step in
+// segSize pieces. The ring structure — P-1 steps, each circulating one
+// chunk per rank — is unchanged; every chunk transfer is split into
+// ceil(chunk/segSize) back-to-back segment messages, so large rendezvous
+// transfers become a stream of smaller ones that overlap inside each
+// step's concurrent send/receive halves and across the engine's eager
+// window. With segSize >= ceil(n/P) every chunk is a single segment and
+// the schedules are identical to their unsegmented counterparts.
+
+// DefaultRingSegment is the segment size used by the segmented ring
+// allgathers when the caller passes segSize <= 0. It matches the engine's
+// default eager limit, so default-segmented chunks take the eager path.
+const DefaultRingSegment = 64 << 10
+
+// RingSegments returns how many segments a count-byte chunk is cut into
+// at the given segment size. Empty chunks still occupy one zero-byte
+// round, mirroring the enclosed ring's zero-byte envelopes.
+func RingSegments(count, segSize int) int {
+	if count <= 0 {
+		return 1
+	}
+	return (count + segSize - 1) / segSize
+}
+
+// SegSpan returns the offset and length of segment s within a count-byte
+// chunk (offset relative to the chunk start). The final segment may be
+// short; the single segment of an empty chunk is zero-length.
+func SegSpan(count, segSize, s int) (off, length int) {
+	off = s * segSize
+	if off > count {
+		off = count
+	}
+	length = count - off
+	if length > segSize {
+		length = segSize
+	}
+	return off, length
+}
+
+// segRing generates the segmented ring allgather. With tuned=false every
+// rank runs the full enclosed exchange; with tuned=true each rank
+// computes (step, flag) and degenerates to send-only or receive-only for
+// its final step-1 ring steps, exactly like RingAllgatherTuned — the
+// degeneration applies to every segment of the affected steps.
+func segRing(p, root, n, segSize int, tuned bool, name string) *sched.Program {
+	checkArgs(p, root, n)
+	if segSize <= 0 {
+		segSize = DefaultRingSegment
+	}
+	l := NewLayout(n, p)
+	pr := sched.New(name, p, n, root)
+	for rank := 0; rank < p; rank++ {
+		var sf StepFlag
+		if tuned {
+			sf = ComputeStepFlag(RelRank(rank, root, p), p)
+		}
+		left, right := ringPeers(rank, p)
+		j, jnext := rank, left
+		for i := 1; i < p; i++ {
+			relJ := RelRank(j, root, p)
+			relJnext := RelRank(jnext, root, p)
+			sendCnt, recvCnt := l.Count(relJ), l.Count(relJnext)
+			sendDisp, recvDisp := l.Disp(relJ), l.Disp(relJnext)
+
+			doSend, doRecv := true, true
+			if tuned && sf.Step > p-i {
+				doSend, doRecv = !sf.RecvOnly, sf.RecvOnly
+			}
+			rounds := 0
+			if doSend {
+				rounds = RingSegments(sendCnt, segSize)
+			}
+			if doRecv {
+				if r := RingSegments(recvCnt, segSize); r > rounds {
+					rounds = r
+				}
+			}
+			for s := 0; s < rounds; s++ {
+				sOK := doSend && s < RingSegments(sendCnt, segSize)
+				rOK := doRecv && s < RingSegments(recvCnt, segSize)
+				op := sched.Op{Tag: TagRing, Step: i}
+				if sOK {
+					off, length := SegSpan(sendCnt, segSize, s)
+					op.To, op.SendOff, op.SendLen = right, sendDisp+off, length
+				}
+				if rOK {
+					off, length := SegSpan(recvCnt, segSize, s)
+					op.From, op.RecvOff, op.RecvLen = left, recvDisp+off, length
+				}
+				switch {
+				case sOK && rOK:
+					op.Kind = sched.OpSendrecv
+				case rOK:
+					op.Kind = sched.OpRecv
+				case sOK:
+					op.Kind = sched.OpSend
+				default:
+					continue
+				}
+				pr.Add(rank, op)
+			}
+			j = jnext
+			jnext = (jnext - 1 + p) % p
+		}
+	}
+	return pr
+}
+
+// RingAllgatherNativeSeg generates the segmented enclosed ring allgather:
+// RingAllgatherNative with every chunk transfer pipelined in segSize
+// pieces.
+func RingAllgatherNativeSeg(p, root, n, segSize int) *sched.Program {
+	return segRing(p, root, n, segSize, false, "ring-allgather-native-seg")
+}
+
+// RingAllgatherTunedSeg generates the segmented non-enclosed ring
+// allgather: the paper's tuned ring with every retained chunk transfer
+// pipelined in segSize pieces. The ownership-aware skips apply to whole
+// steps, so the tuned saving carries over segment by segment.
+func RingAllgatherTunedSeg(p, root, n, segSize int) *sched.Program {
+	return segRing(p, root, n, segSize, true, "ring-allgather-tuned-seg")
+}
+
+// BcastNativeSegProgram is the segmented native broadcast: binomial
+// scatter followed by the segmented enclosed ring allgather.
+func BcastNativeSegProgram(p, root, n, segSize int) *sched.Program {
+	pr := ScatterSchedule(p, root, n).MustConcat(RingAllgatherNativeSeg(p, root, n, segSize))
+	pr.Name = "bcast-native-seg"
+	return pr
+}
+
+// BcastOptSegProgram is the segmented tuned broadcast: binomial scatter
+// followed by the segmented non-enclosed ring allgather.
+func BcastOptSegProgram(p, root, n, segSize int) *sched.Program {
+	pr := ScatterSchedule(p, root, n).MustConcat(RingAllgatherTunedSeg(p, root, n, segSize))
+	pr.Name = "bcast-opt-seg"
+	return pr
+}

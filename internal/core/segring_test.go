@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// segGrid pairs bcastGrid points with segment sizes spanning the
+// interesting regimes: tiny (many segments per chunk), chunk-misaligned,
+// and huge (one segment per chunk, degenerating to the unsegmented ring).
+func segGrid() []int { return []int{1, 3, 16, 64, 1 << 20} }
+
+// TestBcastNativeSegProgramVerifies: the segmented native broadcast is
+// deadlock-free, valid, and delivers the full buffer everywhere; like the
+// enclosed ring it keeps the redundant transfers the tuned ring removes.
+func TestBcastNativeSegProgramVerifies(t *testing.T) {
+	for _, g := range bcastGrid() {
+		p, root, n := g[0], g[1], g[2]
+		for _, seg := range segGrid() {
+			pr := BcastNativeSegProgram(p, root, n, seg)
+			if err := pr.Validate(); err != nil {
+				t.Fatalf("p=%d root=%d n=%d seg=%d: %v", p, root, n, seg, err)
+			}
+			if _, err := sched.Verify(pr, sched.VerifyConfig{WantFinal: sched.FullBuffer(n)}); err != nil {
+				t.Fatalf("p=%d root=%d n=%d seg=%d: %v", p, root, n, seg, err)
+			}
+		}
+	}
+}
+
+// TestBcastOptSegProgramVerifies: the segmented tuned broadcast completes
+// with zero redundant transfers — the paper's core claim survives
+// segmentation.
+func TestBcastOptSegProgramVerifies(t *testing.T) {
+	for _, g := range bcastGrid() {
+		p, root, n := g[0], g[1], g[2]
+		for _, seg := range segGrid() {
+			pr := BcastOptSegProgram(p, root, n, seg)
+			if err := pr.Validate(); err != nil {
+				t.Fatalf("p=%d root=%d n=%d seg=%d: %v", p, root, n, seg, err)
+			}
+			res, err := sched.Verify(pr, sched.VerifyConfig{WantFinal: sched.FullBuffer(n)})
+			if err != nil {
+				t.Fatalf("p=%d root=%d n=%d seg=%d: %v", p, root, n, seg, err)
+			}
+			if res.RedundantMessages != 0 {
+				t.Fatalf("p=%d root=%d n=%d seg=%d: %d redundant messages",
+					p, root, n, seg, res.RedundantMessages)
+			}
+		}
+	}
+}
+
+// TestSegRingBytesMatchUnsegmented: segmentation splits messages but must
+// move exactly the bytes of its unsegmented counterpart.
+func TestSegRingBytesMatchUnsegmented(t *testing.T) {
+	for _, g := range bcastGrid() {
+		p, root, n := g[0], g[1], g[2]
+		for _, seg := range segGrid() {
+			natSeg := RingAllgatherNativeSeg(p, root, n, seg).Stats()
+			nat := RingAllgatherNative(p, root, n).Stats()
+			if natSeg.Bytes != nat.Bytes {
+				t.Fatalf("p=%d n=%d seg=%d: native seg bytes %d != %d", p, n, seg, natSeg.Bytes, nat.Bytes)
+			}
+			if natSeg.Messages < nat.Messages {
+				t.Fatalf("p=%d n=%d seg=%d: native seg messages %d < %d", p, n, seg, natSeg.Messages, nat.Messages)
+			}
+			optSeg := RingAllgatherTunedSeg(p, root, n, seg).Stats()
+			opt := RingAllgatherTuned(p, root, n).Stats()
+			if optSeg.Bytes != opt.Bytes {
+				t.Fatalf("p=%d n=%d seg=%d: tuned seg bytes %d != %d", p, n, seg, optSeg.Bytes, opt.Bytes)
+			}
+		}
+	}
+}
+
+// TestSegRingDegeneratesToUnsegmented: a segment size at or above the
+// chunk size yields exactly the unsegmented schedule, message for
+// message.
+func TestSegRingDegeneratesToUnsegmented(t *testing.T) {
+	for _, g := range bcastGrid() {
+		p, root, n := g[0], g[1], g[2]
+		seg := NewLayout(n, p).ScatterSize
+		if seg == 0 {
+			seg = 1
+		}
+		cases := []struct {
+			name     string
+			seg, ref *sched.Program
+		}{
+			{"native", RingAllgatherNativeSeg(p, root, n, seg), RingAllgatherNative(p, root, n)},
+			{"tuned", RingAllgatherTunedSeg(p, root, n, seg), RingAllgatherTuned(p, root, n)},
+		}
+		for _, tc := range cases {
+			for r := 0; r < p; r++ {
+				segOps, refOps := tc.seg.OpsOf(r), tc.ref.OpsOf(r)
+				if len(segOps) != len(refOps) {
+					t.Fatalf("%s p=%d root=%d n=%d rank %d: %d ops != %d", tc.name, p, root, n, r, len(segOps), len(refOps))
+				}
+				for i := range segOps {
+					if segOps[i] != refOps[i] {
+						t.Fatalf("%s p=%d root=%d n=%d rank %d op %d: %v != %v",
+							tc.name, p, root, n, r, i, segOps[i], refOps[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegRingTunedSavesMessages: at every grid point the segmented tuned
+// ring sends no more messages (and strictly fewer whenever the
+// unsegmented saving is non-zero) than the segmented native ring at the
+// same segment size.
+func TestSegRingTunedSavesMessages(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 10, 16, 17} {
+		n := 64 * p
+		for _, seg := range []int{8, 64} {
+			nat := RingAllgatherNativeSeg(p, 0, n, seg).Stats()
+			opt := RingAllgatherTunedSeg(p, 0, n, seg).Stats()
+			if opt.Messages > nat.Messages {
+				t.Fatalf("p=%d seg=%d: tuned seg messages %d > native %d", p, seg, opt.Messages, nat.Messages)
+			}
+			if TunedSavedMessages(p) > 0 && opt.Messages >= nat.Messages {
+				t.Fatalf("p=%d seg=%d: tuned seg saved nothing (%d vs %d)", p, seg, opt.Messages, nat.Messages)
+			}
+			if opt.Bytes >= nat.Bytes && p > 2 {
+				t.Fatalf("p=%d seg=%d: tuned seg bytes %d >= native %d", p, seg, opt.Bytes, nat.Bytes)
+			}
+		}
+	}
+}
+
+// TestRingSegmentsAndSegSpan pins the segmentation helpers' edge cases.
+func TestRingSegmentsAndSegSpan(t *testing.T) {
+	cases := []struct {
+		count, seg, want int
+	}{
+		{0, 8, 1},  // empty chunk: one zero-byte envelope
+		{1, 8, 1},  // short chunk
+		{8, 8, 1},  // exact fit
+		{9, 8, 2},  // one spill byte
+		{24, 8, 3}, // even split
+		{100, 1, 100},
+	}
+	for _, tc := range cases {
+		if got := RingSegments(tc.count, tc.seg); got != tc.want {
+			t.Errorf("RingSegments(%d, %d) = %d want %d", tc.count, tc.seg, got, tc.want)
+		}
+	}
+	// Segment spans tile the chunk exactly.
+	for _, count := range []int{0, 1, 7, 8, 9, 100} {
+		const seg = 8
+		total := 0
+		for s := 0; s < RingSegments(count, seg); s++ {
+			off, length := SegSpan(count, seg, s)
+			if off != total {
+				t.Fatalf("count=%d seg %d: off %d want %d", count, s, off, total)
+			}
+			total += length
+		}
+		if total != count {
+			t.Fatalf("count=%d: spans cover %d bytes", count, total)
+		}
+	}
+}

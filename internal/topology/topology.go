@@ -24,6 +24,20 @@ const (
 	LakiCoresPerNode = 8
 )
 
+// Placement-kind names returned by Map.Kind. The tuning subsystem keys
+// selection rules on these (tune.Env.Placement), so they are stable,
+// serialization-friendly identifiers.
+const (
+	// KindSingle: every rank on one node.
+	KindSingle = "single"
+	// KindBlocked: nodes filled sequentially (rank r on node r/cores).
+	KindBlocked = "blocked"
+	// KindRoundRobin: ranks dealt cyclically (rank r on node r mod nodes).
+	KindRoundRobin = "round-robin"
+	// KindIrregular: any placement matching none of the named patterns.
+	KindIrregular = "irregular"
+)
+
 // Map assigns every rank of a job to a node. Maps are immutable after
 // construction.
 type Map struct {
@@ -114,6 +128,48 @@ func (m *Map) NumNodes() int { return m.numNodes }
 
 // NodeOf returns the node hosting rank.
 func (m *Map) NodeOf(rank int) int { return m.nodeOf[rank] }
+
+// MaxCoresPerNode returns the largest number of ranks hosted on one node
+// — the effective node occupancy the tuning subsystem keys rules on.
+func (m *Map) MaxCoresPerNode() int {
+	maxRanks := 0
+	for _, rs := range m.byNode {
+		if len(rs) > maxRanks {
+			maxRanks = len(rs)
+		}
+	}
+	return maxRanks
+}
+
+// Kind classifies the placement pattern: KindSingle when one node hosts
+// everything, KindBlocked when rank r sits on node r/cores (cores =
+// MaxCoresPerNode), KindRoundRobin when rank r sits on node r mod nodes,
+// and KindIrregular otherwise. Blocked and round-robin placements that
+// collapse onto one node classify as KindSingle, so the classification
+// depends only on the realized mapping, never on how it was constructed.
+func (m *Map) Kind() string {
+	if m.numNodes == 1 {
+		return KindSingle
+	}
+	blocked, rr := true, true
+	cores := m.MaxCoresPerNode()
+	for r, node := range m.nodeOf {
+		if node != r/cores {
+			blocked = false
+		}
+		if node != r%m.numNodes {
+			rr = false
+		}
+	}
+	switch {
+	case blocked:
+		return KindBlocked
+	case rr:
+		return KindRoundRobin
+	default:
+		return KindIrregular
+	}
+}
 
 // SameNode reports whether two ranks share a node (their communication is
 // an intra-node memory copy rather than a network transfer).

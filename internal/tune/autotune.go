@@ -3,6 +3,8 @@ package tune
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/netsim"
 	"repro/internal/sched"
@@ -20,6 +22,10 @@ type Candidate struct {
 	// SegSize is the segment-size parameter for segmented algorithms
 	// (0 for algorithms without one); it is copied into the decision.
 	SegSize int
+	// Segmented marks candidates that accept a segment-size parameter;
+	// sweep-based tuning expands these into one candidate per swept
+	// segment size instead of measuring only the algorithm's default.
+	Segmented bool
 	// Applies reports whether the algorithm can run in e (nil = always).
 	Applies func(e Env) bool
 	// Program generates the algorithm's communication schedule.
@@ -35,13 +41,85 @@ type Measurer interface {
 	Env(p, n int) Env
 }
 
+// Placement names one rank-to-node mapping shape for placement sweeps.
+type Placement struct {
+	// Kind is one of the topology.Kind* names; KindSingle ignores
+	// CoresPerNode.
+	Kind string
+	// CoresPerNode is the node capacity for blocked and round-robin maps.
+	CoresPerNode int
+}
+
+// Map realizes the placement for np ranks.
+func (pl Placement) Map(np int) (*topology.Map, error) {
+	switch pl.Kind {
+	case topology.KindSingle:
+		return topology.SingleNode(np), nil
+	case topology.KindBlocked:
+		if pl.CoresPerNode <= 0 {
+			return nil, fmt.Errorf("tune: placement %q needs cores per node", pl.Kind)
+		}
+		return topology.Blocked(np, pl.CoresPerNode), nil
+	case topology.KindRoundRobin:
+		if pl.CoresPerNode <= 0 {
+			return nil, fmt.Errorf("tune: placement %q needs cores per node", pl.Kind)
+		}
+		return topology.RoundRobin(np, pl.CoresPerNode), nil
+	default:
+		return nil, fmt.Errorf("tune: unknown placement kind %q", pl.Kind)
+	}
+}
+
+// String renders the placement in the CLI syntax ParsePlacement accepts.
+func (pl Placement) String() string {
+	if pl.Kind == topology.KindSingle || pl.CoresPerNode <= 0 {
+		return pl.Kind
+	}
+	return fmt.Sprintf("%s:%d", pl.Kind, pl.CoresPerNode)
+}
+
+// ParsePlacement parses "single", "blocked:24" or "round-robin:24"
+// ("roundrobin" is accepted as an alias).
+func ParsePlacement(s string) (Placement, error) {
+	kind, coresStr, has := strings.Cut(strings.TrimSpace(s), ":")
+	switch kind {
+	case "roundrobin", "rr":
+		kind = topology.KindRoundRobin
+	}
+	pl := Placement{Kind: kind}
+	if has {
+		cores, err := strconv.Atoi(coresStr)
+		if err != nil || cores < 1 {
+			return Placement{}, fmt.Errorf("tune: bad cores in placement %q", s)
+		}
+		pl.CoresPerNode = cores
+	}
+	switch pl.Kind {
+	case topology.KindSingle:
+		if pl.CoresPerNode != 0 {
+			return Placement{}, fmt.Errorf("tune: placement %q takes no cores", s)
+		}
+	case topology.KindBlocked, topology.KindRoundRobin:
+		if pl.CoresPerNode == 0 {
+			return Placement{}, fmt.Errorf("tune: placement %q needs cores, e.g. %q", s, s+":24")
+		}
+	default:
+		return Placement{}, fmt.Errorf("tune: unknown placement %q (single|blocked:N|round-robin:N)", s)
+	}
+	return pl, nil
+}
+
 // SimMeasurer measures candidates on the netsim virtual-time cluster
 // model — fast enough for paper-scale grids (hundreds of ranks, tens of
 // megabytes) on a laptop.
 type SimMeasurer struct {
 	// Model is the cluster calibration (netsim.Hornet() when nil).
 	Model *netsim.Model
-	// CoresPerNode controls the blocked placement (<= 0: single node).
+	// Place selects the rank placement. When its Kind is empty the legacy
+	// CoresPerNode field decides instead.
+	Place Placement
+	// CoresPerNode controls the blocked placement (<= 0: single node);
+	// ignored when Place is set.
 	CoresPerNode int
 	// Warm and Total bound the steady-state replication (defaults 2, 6).
 	Warm, Total int
@@ -62,16 +140,30 @@ func (m SimMeasurer) fill() SimMeasurer {
 	return m
 }
 
-func (m SimMeasurer) topo(p int) *topology.Map {
-	if m.CoresPerNode <= 0 {
-		return topology.SingleNode(p)
+func (m SimMeasurer) topo(p int) (*topology.Map, error) {
+	if m.Place.Kind != "" {
+		return m.Place.Map(p)
 	}
-	return topology.Blocked(p, m.CoresPerNode)
+	if m.CoresPerNode <= 0 {
+		return topology.SingleNode(p), nil
+	}
+	return topology.Blocked(p, m.CoresPerNode), nil
 }
 
-// Env implements Measurer.
+// Env implements Measurer. The environment is derived from the realized
+// topology map, so placement-swept rules key on the same classification a
+// runtime broadcast over that map would present. An invalid Place cannot
+// be reported through this signature: the environment degrades to
+// (Bytes, Procs) only, and the underlying error surfaces from the next
+// Measure call (AutoTuneSweep additionally pre-validates placements, so
+// the degraded path is reachable only by handing a malformed SimMeasurer
+// straight to AutoTune).
 func (m SimMeasurer) Env(p, n int) Env {
-	return Env{Bytes: n, Procs: p, NumNodes: m.topo(p).NumNodes()}
+	topo, err := m.topo(p)
+	if err != nil {
+		return Env{Bytes: n, Procs: p}
+	}
+	return EnvOf(n, p, topo)
 }
 
 // Measure implements Measurer.
@@ -84,42 +176,32 @@ func (m SimMeasurer) Measure(c Candidate, p, n int) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("tune: candidate %q at (p=%d, n=%d): %w", c.Name, p, n, err)
 	}
-	return netsim.SteadyStateIterTime(pr, m.topo(p), m.Model, m.Warm, m.Total)
+	topo, err := m.topo(p)
+	if err != nil {
+		return 0, err
+	}
+	return netsim.SteadyStateIterTime(pr, topo, m.Model, m.Warm, m.Total)
 }
 
-// Winner is one auto-tuned grid point: the fastest applicable candidate
-// and its measured per-iteration time.
+// Winner is one auto-tuned grid point: the fastest applicable candidate,
+// its measured per-iteration time, and the environment it was measured in
+// (placement classification included).
 type Winner struct {
 	Procs, Bytes int
+	Env          Env
 	Decision     Decision
 	Seconds      float64
 }
 
-// AutoTune measures every applicable candidate at every (procs x sizes)
-// grid point and derives a first-match rule Table from the winners: per
-// process count, adjacent sizes won by the same algorithm merge into one
-// size-band rule, reproducing the crossover-point tables of the
-// measurement-driven tuning literature. The winners themselves are
-// returned alongside for reporting.
-//
-// Candidates without a static schedule, or whose Applies predicate
-// rejects the measurement environment, are skipped at that point; a grid
-// point where no candidate can be measured is an error.
-func AutoTune(cands []Candidate, m Measurer, procs, sizes []int) (*Table, []Winner, error) {
-	if len(cands) == 0 {
-		return nil, nil, fmt.Errorf("tune: no candidates")
-	}
-	if len(procs) == 0 || len(sizes) == 0 {
-		return nil, nil, fmt.Errorf("tune: empty grid (%d procs, %d sizes)", len(procs), len(sizes))
-	}
-	procs = sortedCopy(procs)
-	sizes = sortedCopy(sizes)
-
+// tuneGrid measures every applicable candidate at every (procs x sizes)
+// point and returns the per-point winners. procs and sizes must be
+// sorted.
+func tuneGrid(cands []Candidate, m Measurer, procs, sizes []int) ([]Winner, error) {
 	var winners []Winner
 	for _, p := range procs {
 		for _, n := range sizes {
 			e := m.Env(p, n)
-			best := Winner{Procs: p, Bytes: n, Seconds: -1}
+			best := Winner{Procs: p, Bytes: n, Env: e, Seconds: -1}
 			for _, c := range cands {
 				if c.Program == nil {
 					continue
@@ -129,7 +211,7 @@ func AutoTune(cands []Candidate, m Measurer, procs, sizes []int) (*Table, []Winn
 				}
 				dt, err := m.Measure(c, p, n)
 				if err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 				if best.Seconds < 0 || dt < best.Seconds {
 					best.Seconds = dt
@@ -137,20 +219,21 @@ func AutoTune(cands []Candidate, m Measurer, procs, sizes []int) (*Table, []Winn
 				}
 			}
 			if best.Seconds < 0 {
-				return nil, nil, fmt.Errorf("tune: no measurable candidate at (p=%d, n=%d)", p, n)
+				return nil, fmt.Errorf("tune: no measurable candidate at (p=%d, n=%d)", p, n)
 			}
 			winners = append(winners, best)
 		}
 	}
+	return winners, nil
+}
 
-	t := &Table{
-		Name:        "auto-tuned",
-		Description: fmt.Sprintf("auto-tuned over %d procs x %d sizes", len(procs), len(sizes)),
-	}
-	// One exact-procs rule per (p, winner run): the first band of each p
-	// extends down to 0 bytes and the last extends to infinity, so the
-	// table is total for tuned process counts and falls through to the
-	// tuner's fallback elsewhere.
+// crossoverRules derives first-match rules from grid winners: per process
+// count, adjacent sizes won by the same decision merge into one size-band
+// rule. The first band of each p extends down to 0 bytes and the last to
+// infinity, so the rules are total for tuned process counts. mark, when
+// non-nil, stamps extra constraints (e.g. placement) onto every rule.
+func crossoverRules(winners []Winner, procs []int, mark func(*Rule)) []Rule {
+	var rules []Rule
 	for _, p := range procs {
 		var run []Winner
 		for _, w := range winners {
@@ -170,14 +253,169 @@ func AutoTune(cands []Candidate, m Measurer, procs, sizes []int) (*Table, []Winn
 			if j+1 < len(run) {
 				r.MaxBytes = run[j+1].Bytes
 			}
-			t.Rules = append(t.Rules, r)
+			if mark != nil {
+				mark(&r)
+			}
+			rules = append(rules, r)
 			i = j + 1
 		}
+	}
+	return rules
+}
+
+// AutoTune measures every applicable candidate at every (procs x sizes)
+// grid point and derives a first-match rule Table from the winners,
+// reproducing the crossover-point tables of the measurement-driven tuning
+// literature. The winners themselves are returned alongside for
+// reporting.
+//
+// Candidates without a static schedule, or whose Applies predicate
+// rejects the measurement environment, are skipped at that point; a grid
+// point where no candidate can be measured is an error. For segment-size
+// and placement sweeps, see AutoTuneSweep.
+func AutoTune(cands []Candidate, m Measurer, procs, sizes []int) (*Table, []Winner, error) {
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("tune: no candidates")
+	}
+	if len(procs) == 0 || len(sizes) == 0 {
+		return nil, nil, fmt.Errorf("tune: empty grid (%d procs, %d sizes)", len(procs), len(sizes))
+	}
+	procs = sortedCopy(procs)
+	sizes = sortedCopy(sizes)
+
+	winners, err := tuneGrid(cands, m, procs, sizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Name:        "auto-tuned",
+		Description: fmt.Sprintf("auto-tuned over %d procs x %d sizes", len(procs), len(sizes)),
+		Rules:       crossoverRules(winners, procs, nil),
 	}
 	if err := t.Validate(); err != nil {
 		return nil, nil, err
 	}
 	return t, winners, nil
+}
+
+// SweepConfig parameterizes AutoTuneSweep.
+type SweepConfig struct {
+	// Procs and Sizes span the measurement grid (both required).
+	Procs, Sizes []int
+	// SegSizes are the segment sizes swept for every Segmented candidate,
+	// replacing the algorithm's single default. Empty = defaults only.
+	SegSizes []int
+	// Placements are the rank placements swept; one rule group is emitted
+	// per placement, keyed on the realized topology's classification.
+	// Empty = the measurer factory's default placement, unconstrained
+	// rules.
+	Placements []Placement
+}
+
+// AutoTuneSweep generalizes AutoTune along the two axes the paper's
+// Section V crossovers are known to shift with: segment size and process
+// placement. Every Segmented candidate is expanded into one candidate per
+// cfg.SegSizes entry, and the whole grid is re-measured under every
+// cfg.Placements entry via the measurer factory mk. The emitted table
+// concatenates one rule group per placement, each rule constrained to the
+// placement classification and node occupancy actually realized at its
+// process count (a blocked sweep that collapses onto one node at small p
+// emits single-node rules there, matching what a runtime broadcast over
+// that map would look up).
+func AutoTuneSweep(cands []Candidate, mk func(Placement) Measurer, cfg SweepConfig) (*Table, []Winner, error) {
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("tune: no candidates")
+	}
+	if len(cfg.Procs) == 0 || len(cfg.Sizes) == 0 {
+		return nil, nil, fmt.Errorf("tune: empty grid (%d procs, %d sizes)", len(cfg.Procs), len(cfg.Sizes))
+	}
+	if mk == nil {
+		return nil, nil, fmt.Errorf("tune: nil measurer factory")
+	}
+	procs := sortedCopy(cfg.Procs)
+	sizes := sortedCopy(cfg.Sizes)
+	expanded := expandSegments(cands, cfg.SegSizes)
+
+	placements := cfg.Placements
+	constrain := true
+	if len(placements) == 0 {
+		placements = []Placement{{}}
+		constrain = false
+	}
+
+	t := &Table{Name: "auto-tuned"}
+	var all []Winner
+	for _, pl := range placements {
+		if constrain {
+			if _, err := pl.Map(1); err != nil {
+				return nil, nil, err
+			}
+		}
+		winners, err := tuneGrid(expanded, mk(pl), procs, sizes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tune: placement %s: %w", pl, err)
+		}
+		all = append(all, winners...)
+		byProcs := map[int]Env{}
+		for _, w := range winners {
+			byProcs[w.Procs] = w.Env
+		}
+		rules := crossoverRules(winners, procs, func(r *Rule) {
+			if !constrain {
+				return
+			}
+			e := byProcs[r.MinProcs]
+			r.Placement = e.Placement
+			r.CoresPerNode = e.CoresPerNode
+		})
+		t.Rules = appendNewRules(t.Rules, rules)
+	}
+	t.Description = fmt.Sprintf("auto-tuned over %d procs x %d sizes x %d placements (%d segment sizes)",
+		len(procs), len(sizes), len(placements), len(cfg.SegSizes))
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, all, nil
+}
+
+// expandSegments replaces every Segmented candidate with one copy per
+// swept segment size; non-segmented candidates pass through unchanged.
+func expandSegments(cands []Candidate, segSizes []int) []Candidate {
+	if len(segSizes) == 0 {
+		return cands
+	}
+	var out []Candidate
+	for _, c := range cands {
+		if !c.Segmented {
+			out = append(out, c)
+			continue
+		}
+		for _, seg := range segSizes {
+			cc := c
+			cc.SegSize = seg
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// appendNewRules appends rules, dropping exact duplicates of already
+// emitted rules (placements that collapse onto the same realized topology
+// at small process counts produce identical groups there).
+func appendNewRules(rules, add []Rule) []Rule {
+	for _, r := range add {
+		dup := false
+		for _, have := range rules {
+			if have == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			rules = append(rules, r)
+		}
+	}
+	return rules
 }
 
 func sortedCopy(xs []int) []int {

@@ -1,0 +1,102 @@
+package tune
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// probeEnvs is a fixed grid of lookup environments spanning every rule
+// dimension: size bands, process counts, pow2-ness, node counts,
+// placement kinds and occupancies.
+func probeEnvs() []Env {
+	var out []Env
+	for _, n := range []int{0, 1, 12287, 12288, 1 << 19, 1 << 25} {
+		for _, p := range []int{1, 8, 10, 64, 129} {
+			for _, nodes := range []int{1, 3} {
+				for _, place := range []string{"", topology.KindSingle, topology.KindBlocked, topology.KindRoundRobin} {
+					out = append(out, Env{
+						Bytes: n, Procs: p, NumNodes: nodes,
+						CoresPerNode: 24, Placement: place,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FuzzTableRoundTrip is the table serialization property test: any JSON
+// input that parses into a Validate-clean Table must survive
+// marshal -> unmarshal -> Lookup identically — same rule count, same
+// decision (or same miss) at every probe environment, and a stable
+// re-marshalling. Malformed tables must be rejected by ParseTable, never
+// silently repaired.
+func FuzzTableRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"name":"t","rules":[]}`,
+		`{"name":"t","rules":[{"decision":{"algorithm":"binomial"}}]}`,
+		`{"name":"t","rules":[
+			{"min_bytes":524288,"min_procs":9,"pow2":"no","multi_node":"yes",
+			 "decision":{"algorithm":"scatter-ring-allgather-opt"}},
+			{"decision":{"algorithm":"chain","seg_size":65536}}]}`,
+		`{"name":"placed","rules":[
+			{"min_procs":64,"max_procs":64,"placement":"blocked","cores_per_node":24,
+			 "decision":{"algorithm":"scatter-ring-allgather-opt-seg","seg_size":8192}},
+			{"min_procs":64,"max_procs":64,"placement":"round-robin","cores_per_node":22,
+			 "decision":{"algorithm":"scatter-ring-allgather-opt"}}]}`,
+		// Malformed seeds: these must keep failing ParseTable.
+		`{"name":"t","rules":[{"decision":{"algorithm":"x","seg_size":-1}}]}`,
+		`{"name":"t","rules":[{"min_bytes":10,"max_bytes":5,"decision":{"algorithm":"x"}}]}`,
+		`{"name":"t","rules":[{"min_procs":9,"max_procs":8,"decision":{"algorithm":"x"}}]}`,
+		`{"name":"t","rules":[{"placement":"mesh","decision":{"algorithm":"x"}}]}`,
+		`{"name":"t","rules":[{"cores_per_node":-3,"decision":{"algorithm":"x"}}]}`,
+		`{not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	envs := probeEnvs()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		table, err := ParseTable(data)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		// ParseTable only returns validated tables.
+		if err := table.Validate(); err != nil {
+			t.Fatalf("parsed table fails Validate: %v", err)
+		}
+		out, err := table.JSON()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back, err := ParseTable(out)
+		if err != nil {
+			t.Fatalf("round trip rejected its own output: %v\n%s", err, out)
+		}
+		if back.Name != table.Name || len(back.Rules) != len(table.Rules) {
+			t.Fatalf("round trip mangled structure: %d rules -> %d", len(table.Rules), len(back.Rules))
+		}
+		for i := range table.Rules {
+			if back.Rules[i] != table.Rules[i] {
+				t.Fatalf("rule %d mangled: %+v -> %+v", i, table.Rules[i], back.Rules[i])
+			}
+		}
+		for _, e := range envs {
+			d1, ok1 := table.Lookup(e)
+			d2, ok2 := back.Lookup(e)
+			if ok1 != ok2 || d1 != d2 {
+				t.Fatalf("Lookup(%+v) diverged: (%+v,%v) -> (%+v,%v)", e, d1, ok1, d2, ok2)
+			}
+		}
+		// Marshalling is stable: a second round trip emits identical bytes.
+		out2, err := back.JSON()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("marshalling unstable:\n%s\nvs\n%s", out, out2)
+		}
+	})
+}

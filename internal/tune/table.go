@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/topology"
 )
 
 // Rule is one decision rule of a tuning table. A rule matches an Env when
@@ -22,8 +24,26 @@ type Rule struct {
 	// MultiNode constrains the placement: "yes" requires ranks on more
 	// than one node, "no" requires a single node, "" matches either.
 	MultiNode string `json:"multi_node,omitempty"`
+	// Placement constrains the placement classification to one of the
+	// topology.Kind* names ("single", "blocked", "round-robin",
+	// "irregular"); "" matches any placement. Placement-swept auto-tuning
+	// emits one rule group per placement keyed on this field.
+	Placement string `json:"placement,omitempty"`
+	// CoresPerNode constrains the node occupancy (Env.CoresPerNode) to an
+	// exact value; 0 matches any occupancy.
+	CoresPerNode int `json:"cores_per_node,omitempty"`
 
 	Decision Decision `json:"decision"`
+}
+
+// knownPlacement reports whether s is a valid Placement constraint.
+func knownPlacement(s string) bool {
+	switch s {
+	case "", topology.KindSingle, topology.KindBlocked, topology.KindRoundRobin, topology.KindIrregular:
+		return true
+	default:
+		return false
+	}
 }
 
 func matchTri(constraint string, actual bool) (bool, error) {
@@ -51,6 +71,12 @@ func (r Rule) Matches(e Env) bool {
 		return false
 	}
 	if ok, err := matchTri(r.MultiNode, e.MultiNode()); err != nil || !ok {
+		return false
+	}
+	if r.Placement != "" && r.Placement != e.Placement {
+		return false
+	}
+	if r.CoresPerNode > 0 && r.CoresPerNode != e.CoresPerNode {
 		return false
 	}
 	return true
@@ -96,6 +122,12 @@ func (t *Table) Validate() error {
 		}
 		if _, err := matchTri(r.MultiNode, true); err != nil {
 			return fmt.Errorf("tune: table %q rule %d: multi_node: %w", t.Name, i, err)
+		}
+		if !knownPlacement(r.Placement) {
+			return fmt.Errorf("tune: table %q rule %d: unknown placement %q", t.Name, i, r.Placement)
+		}
+		if r.CoresPerNode < 0 {
+			return fmt.Errorf("tune: table %q rule %d: negative cores_per_node %d", t.Name, i, r.CoresPerNode)
 		}
 		if r.Decision.SegSize < 0 {
 			return fmt.Errorf("tune: table %q rule %d: negative seg_size %d", t.Name, i, r.Decision.SegSize)

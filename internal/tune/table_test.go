@@ -168,6 +168,8 @@ func TestTableValidateRejects(t *testing.T) {
 		{Rules: []Rule{{MultiNode: "si", Decision: Decision{Algorithm: "x"}}}},            // bad tri-state
 		{Rules: []Rule{{Decision: Decision{Algorithm: "x", SegSize: -1}}}},                // negative seg
 		{Rules: []Rule{{MinBytes: -1, Decision: Decision{Algorithm: "x"}}}},               // negative bytes
+		{Rules: []Rule{{Placement: "mesh", Decision: Decision{Algorithm: "x"}}}},          // unknown placement
+		{Rules: []Rule{{CoresPerNode: -1, Decision: Decision{Algorithm: "x"}}}},           // negative cores
 	}
 	for i, tb := range bad {
 		if err := tb.Validate(); err == nil {

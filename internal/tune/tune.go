@@ -5,25 +5,36 @@
 // topology — MPICH3 hardcodes that choice behind fixed thresholds.
 // This package makes selection itself a first-class, replaceable layer:
 //
-//   - Env is the selection key: message size, process count, node count;
+//   - Env is the selection key: message size, process count, node count,
+//     node occupancy and placement classification (all carried through
+//     the communicator's topology.Map — see EnvOf);
 //   - Decision names a registered algorithm plus its parameters
 //     (currently the segment size for pipelined schedules);
 //   - Tuner maps Env to Decision. MPICH3 is the default tuner and
 //     reproduces MPICH3's dispatch bit-for-bit (golden-tested against
 //     collective.SelectAlgorithm);
-//   - Table is a JSON-serializable rule list (size/procs/topology-keyed,
-//     first match wins) and TableTuner dispatches through one;
+//   - Table is a JSON-serializable rule list (size/procs/topology/
+//     placement-keyed, first match wins) and TableTuner dispatches
+//     through one;
 //   - AutoTune sweeps Candidates over a (procs x sizes) grid with a
 //     Measurer — virtual-time netsim by default, the real engine via
 //     internal/bench — and derives a Table from the per-point winners,
-//     the measured crossover points of the paper's Section V.
+//     the measured crossover points of the paper's Section V;
+//   - AutoTuneSweep extends the grid along the two axes those crossovers
+//     are known to shift with: segment sizes (every Segmented candidate
+//     measured at each swept size) and placements (blocked vs round-robin
+//     at varying cores per node), emitting one placement-keyed rule group
+//     per placement.
 //
 // The executable algorithms live in internal/collective and register
 // themselves into a registry keyed by the names below; internal/collective
 // depends on this package (for Env/Decision/Tuner), never the reverse.
 package tune
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/topology"
+)
 
 // Registered broadcast algorithm names. The collective registry and every
 // tuning table use these strings; they are the stable, CLI-friendly
@@ -40,6 +51,12 @@ const (
 	// RingOpt is binomial scatter + the paper's non-enclosed ring
 	// allgather — MPI_Bcast_opt.
 	RingOpt = "scatter-ring-allgather-opt"
+	// RingSeg is the segmented native ring broadcast: the enclosed ring
+	// allgather pipelined in SegSize chunks.
+	RingSeg = "scatter-ring-allgather-seg"
+	// RingOptSeg is the segmented tuned ring broadcast: the non-enclosed
+	// ring allgather pipelined in SegSize chunks.
+	RingOptSeg = "scatter-ring-allgather-opt-seg"
 	// Chain is the segmented pipeline-chain broadcast (extension
 	// baseline; takes a segment-size parameter).
 	Chain = "chain"
@@ -75,6 +92,28 @@ type Env struct {
 	// ranks (0 or 1 means single-node; selection must not depend on the
 	// difference).
 	NumNodes int
+	// CoresPerNode is the largest number of ranks hosted on one node
+	// (topology.Map.MaxCoresPerNode; 0 = unknown, and selection must not
+	// depend on the difference between 0 and an unconstrained rule).
+	CoresPerNode int
+	// Placement classifies the rank-to-node mapping — one of the
+	// topology.Kind* names ("single", "blocked", "round-robin",
+	// "irregular"; "" = unknown).
+	Placement string
+}
+
+// EnvOf derives the full selection environment of an n-byte broadcast
+// over the ranks placed by topo: node count, node occupancy and placement
+// classification all come from the map, so a table tuned under a swept
+// placement matches the same environment at run time.
+func EnvOf(n, procs int, topo *topology.Map) Env {
+	e := Env{Bytes: n, Procs: procs}
+	if topo != nil {
+		e.NumNodes = topo.NumNodes()
+		e.CoresPerNode = topo.MaxCoresPerNode()
+		e.Placement = topo.Kind()
+	}
+	return e
 }
 
 // Pow2 reports whether the process count is a power of two.
