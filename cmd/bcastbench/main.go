@@ -11,60 +11,177 @@
 //
 // Comparing -algo native against -algo opt reproduces the paper's
 // MPI_Bcast_native / MPI_Bcast_opt comparison at laptop scale. -algo also
-// accepts any algorithm registered in internal/collective (see -list) —
-// including the segmented ring family (scatter-ring-allgather-seg,
-// scatter-ring-allgather-opt-seg), whose segment size -seg selects — and
-// -tune-table dispatches every broadcast through a JSON tuning table
-// produced by the auto-tuner (bcastsim -autotune).
+// accepts any algorithm registered in internal/collective (see -list,
+// which prints each algorithm's capability flags) — including the
+// segmented ring family and its overlap-aware -seg-nb variants, whose
+// segment size -seg selects — and -tune-table dispatches every broadcast
+// through a JSON tuning table produced by the auto-tuner.
+//
+// Beyond the fixed-algorithm benchmark, the tool drives the auto-tuner
+// from real wall-clock measurements (internal/measure), reaching feature
+// parity with bcastsim's netsim-backed tuning:
+//
+//	bcastbench -autotune -np 4,8 -placements blocked:4 -o table.json
+//	bcastbench -autotune -segs 8192,65536 -reps 7 -warmup 2 -stat median
+//	bcastbench -autotune -samples samples.json      # persist raw samples
+//	bcastbench -crosscheck -np 4,8                  # netsim-vs-engine agreement report
+//
+// -autotune measures every applicable registry candidate per grid point
+// on the engine (warmup + repetitions between barriers, robust statistic
+// over the samples) and emits a tune.Table; -crosscheck derives one
+// table from the netsim cost model and one from the engine over the same
+// grid and reports the cells where the model and the wall clock disagree
+// on the winner. -samples writes every raw repetition sample as JSON so
+// runs are reproducible and diffable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/collective"
+	"repro/internal/measure"
+	"repro/internal/netsim"
 	"repro/internal/tune"
 )
 
 func main() {
 	var (
-		npFlag    = flag.Int("np", 8, "number of ranks")
+		npFlag    = flag.String("np", "8", "comma-separated rank counts (benchmark: one section per count; -autotune/-crosscheck: the grid's process axis)")
 		algoFlag  = flag.String("algo", "opt", "broadcast: a legacy variant (native|opt|binomial|auto|auto-opt|smp|smp-opt) or a registry algorithm (see -list)")
-		listFlag  = flag.Bool("list", false, "list registered algorithms and exit")
+		listFlag  = flag.Bool("list", false, "list registered algorithms with their capability flags and exit")
 		tableFlag = flag.String("tune-table", "", "JSON tuning table; dispatch each broadcast through it (overrides -algo)")
 		segFlag   = flag.Int("seg", 0, "segment size in bytes for segmented algorithms (0 = default)")
 		minFlag   = flag.Int("min", 16<<10, "smallest message size in bytes")
 		maxFlag   = flag.Int("max", 4<<20, "largest message size in bytes")
-		itersFlag = flag.Int("iters", 100, "broadcast iterations per size (paper: 100)")
-		coresFlag = flag.Int("cores", 0, "cores per node for blocked placement (0 = single node)")
+		itersFlag = flag.Int("iters", 100, "broadcast iterations per size (paper: 100; benchmark mode only)")
+		coresFlag = flag.Int("cores", 0, "cores per node for blocked placement (0 = single node; benchmark mode only — tuning modes use -placements)")
 		eagerFlag = flag.Int("eager", 0, "eager limit override in bytes (0 = default, -1 = rendezvous only)")
 		rootFlag  = flag.Int("root", 0, "broadcast root")
+
+		autotuneFlag = flag.Bool("autotune", false, "auto-tune over the registry on the real engine and emit a JSON tuning table")
+		crossFlag    = flag.Bool("crosscheck", false, "derive tables from both netsim and the engine over the same grid and report per-cell agreement")
+		candFlag     = flag.String("candidates", "all", "tuning candidate set: all (whole registry, SMP included; -crosscheck: its schedule-static subset) | mpich (the dispatcher's own family)")
+		segsFlag     = flag.String("segs", "", "comma-separated segment sizes for -autotune/-crosscheck: sweep every segmented candidate over these instead of its default")
+		placeFlag    = flag.String("placements", "", "comma-separated placements for -autotune/-crosscheck: single|blocked:N|round-robin:N; emits per-topology rule groups")
+		repsFlag     = flag.Int("reps", measure.DefaultReps, "timed repetitions per measured grid point")
+		warmupFlag   = flag.Int("warmup", measure.DefaultWarmup, "untimed warm-up iterations per measured grid point (0 = none)")
+		statFlag     = flag.String("stat", string(measure.StatTrimmed), "statistic reported to the tuner: min|median|trimmed")
+		modelFlag    = flag.String("model", "hornet", "netsim model for the -crosscheck reference side: hornet|laki")
+		outFlag      = flag.String("o", "", "write the -autotune/-crosscheck engine-derived table to this file instead of stdout")
+		samplesFlag  = flag.String("samples", "", "write every raw repetition sample of a tuning run to this JSON file")
 	)
 	flag.Parse()
 
 	if *listFlag {
 		fmt.Println("# registered broadcast algorithms:")
 		for _, r := range collective.Algorithms() {
-			fmt.Printf("%-28s %s\n", r.Name, r.Summary)
+			fmt.Printf("%-34s %-30s %s\n", r.Name, r.Caps.Label(), r.Summary)
 		}
 		return
 	}
-	if *npFlag <= 0 || *minFlag < 0 || *maxFlag < *minFlag {
-		fmt.Fprintln(os.Stderr, "bcastbench: bad np/min/max")
+
+	nps, err := parseInts(*npFlag)
+	if err != nil || len(nps) == 0 {
+		fmt.Fprintf(os.Stderr, "bcastbench: bad -np %q\n", *npFlag)
+		os.Exit(2)
+	}
+	if *minFlag < 0 || *maxFlag < *minFlag {
+		fmt.Fprintln(os.Stderr, "bcastbench: bad min/max")
 		os.Exit(2)
 	}
 	// Guard against accidental monster allocations: every rank holds one
 	// buffer of -max bytes.
-	if total := *npFlag * *maxFlag; total > 4<<30 {
-		fmt.Fprintf(os.Stderr, "bcastbench: np*max = %d bytes exceeds 4 GiB; scale down\n", total)
+	for _, np := range nps {
+		if total := np * *maxFlag; total > 4<<30 {
+			fmt.Fprintf(os.Stderr, "bcastbench: np*max = %d bytes exceeds 4 GiB; scale down\n", total)
+			os.Exit(2)
+		}
+	}
+
+	// A flag that only acts in the other mode is rejected, not silently
+	// dropped — silently dropping it would run a different measurement
+	// than asked for.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	tuningMode := *autotuneFlag || *crossFlag
+	if *autotuneFlag && *crossFlag {
+		// The modes differ (candidate set, output, an extra netsim sweep);
+		// picking one silently would run a different measurement than
+		// asked for.
+		fmt.Fprintln(os.Stderr, "bcastbench: -autotune and -crosscheck are mutually exclusive")
 		os.Exit(2)
+	}
+	if !tuningMode {
+		for from, to := range map[string]string{
+			"segs": "-seg", "placements": "-cores", "reps": "-iters", "warmup": "-iters",
+			"o": "", "samples": "", "candidates": "", "stat": "", "model": "",
+		} {
+			if !set[from] {
+				continue
+			}
+			hint := ""
+			if to != "" {
+				hint = fmt.Sprintf(" (the benchmark spelling is %s)", to)
+			}
+			fmt.Fprintf(os.Stderr, "bcastbench: -%s requires -autotune or -crosscheck%s\n", from, hint)
+			os.Exit(2)
+		}
+	}
+	if tuningMode {
+		// Symmetric with the check above: the benchmark-only knobs have a
+		// tuning-mode spelling (-seg vs -segs, -cores vs -placements,
+		// -iters vs -reps, -tune-table vs the emitted -o).
+		for from, to := range map[string]string{
+			"seg": "-segs", "cores": "-placements", "iters": "-reps", "tune-table": "-o", "algo": "-candidates",
+		} {
+			if set[from] {
+				fmt.Fprintf(os.Stderr, "bcastbench: -%s is benchmark-only; tuning modes use %s\n", from, to)
+				os.Exit(2)
+			}
+		}
+		if set["model"] && !*crossFlag {
+			fmt.Fprintln(os.Stderr, "bcastbench: -model only selects the -crosscheck reference side")
+			os.Exit(2)
+		}
+		if *minFlag < 1 {
+			// The size grid doubles from -min; starting at 0 would collapse
+			// it to a single zero-byte point whose winner the emitted rules
+			// would then extend to every message size.
+			fmt.Fprintln(os.Stderr, "bcastbench: tuning modes need -min >= 1")
+			os.Exit(2)
+		}
+		if *repsFlag < 1 {
+			// Silently falling back to the default would run a different
+			// measurement than asked for.
+			fmt.Fprintln(os.Stderr, "bcastbench: tuning modes need -reps >= 1")
+			os.Exit(2)
+		}
+		// The measure package treats Warmup 0 as "default" and a negative
+		// value as "none"; an explicit -warmup 0 on the command line means
+		// none.
+		warmup := *warmupFlag
+		if set["warmup"] && warmup == 0 {
+			warmup = -1
+		}
+		if err := runTuning(nps, tuningOpts{
+			min: *minFlag, max: *maxFlag,
+			segs: *segsFlag, placements: *placeFlag, candSet: *candFlag,
+			reps: *repsFlag, warmup: warmup, stat: *statFlag,
+			root: *rootFlag, eager: *eagerFlag, model: *modelFlag,
+			crosscheck: *crossFlag, outPath: *outFlag, samplesPath: *samplesFlag,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := bench.RealConfig{
-		NP:           *npFlag,
 		CoresPerNode: *coresFlag,
 		EagerLimit:   *eagerFlag,
 		Iterations:   *itersFlag,
@@ -93,17 +210,153 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d\n", label, *npFlag, *itersFlag)
-	fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
-	for n := *minFlag; n <= *maxFlag; n *= 2 {
-		res, err := bench.MeasureReal(cfg, n)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bcastbench: size %d: %v\n", n, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%-12d %14.2f %14.2f\n", n, res.Seconds*1e6, res.MBps)
-		if n == 0 {
-			break
+	for _, np := range nps {
+		cfg.NP = np
+		fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d\n", label, np, *itersFlag)
+		fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
+		for n := *minFlag; n <= *maxFlag; n *= 2 {
+			res, err := bench.MeasureReal(cfg, n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bcastbench: size %d: %v\n", n, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-12d %14.2f %14.2f\n", n, res.Seconds*1e6, res.MBps)
+			if n == 0 {
+				break
+			}
 		}
 	}
+}
+
+// tuningOpts bundles the -autotune/-crosscheck options.
+type tuningOpts struct {
+	min, max     int
+	segs         string
+	placements   string
+	candSet      string
+	reps, warmup int
+	stat         string
+	root, eager  int
+	model        string
+	crosscheck   bool
+	outPath      string
+	samplesPath  string
+}
+
+// runTuning drives the real-engine auto-tuner: it builds the measurement
+// grid, measures it with an EngineMeasurer (optionally recording raw
+// samples), and either emits the engine-derived table (-autotune) or the
+// netsim-versus-engine agreement report (-crosscheck).
+func runTuning(procs []int, o tuningOpts) error {
+	var sizes []int
+	for n := o.min; n <= o.max; n *= 2 { // o.min >= 1, checked by the caller
+		sizes = append(sizes, n)
+	}
+	segs, err := parseInts(o.segs)
+	if err != nil {
+		return fmt.Errorf("-segs: %w", err)
+	}
+	var placements []tune.Placement
+	if strings.TrimSpace(o.placements) != "" {
+		for _, tok := range strings.Split(o.placements, ",") {
+			pl, err := tune.ParsePlacement(tok)
+			if err != nil {
+				return err
+			}
+			placements = append(placements, pl)
+		}
+	}
+	stat, err := measure.ParseStat(o.stat)
+	if err != nil {
+		return err
+	}
+	var cands []tune.Candidate
+	switch o.candSet {
+	case "all":
+		// nil = the whole registry
+	case "mpich":
+		cands = bench.FamilyCandidates()
+	default:
+		return fmt.Errorf("unknown -candidates %q (all|mpich)", o.candSet)
+	}
+
+	log := &measure.SampleLog{}
+	eng := measure.EngineMeasurer{
+		Warmup:     o.warmup,
+		Reps:       o.reps,
+		Root:       o.root,
+		EagerLimit: o.eager,
+		Stat:       stat,
+	}
+	if o.samplesPath != "" {
+		eng.Log = log
+	}
+	sweep := tune.SweepConfig{Procs: procs, Sizes: sizes, SegSizes: segs, Placements: placements}
+
+	var table *tune.Table
+	if o.crosscheck {
+		var model *netsim.Model
+		switch o.model {
+		case "hornet":
+			model = netsim.Hornet()
+		case "laki":
+			model = netsim.Laki()
+		default:
+			return fmt.Errorf("unknown -model %q (hornet|laki)", o.model)
+		}
+		report, err := bench.CrossCheck(bench.SimConfig{Model: model}, eng, cands, sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# netsim (%s) vs real-engine cross-check, %d procs x %d sizes:\n",
+			model.Name, len(procs), len(sizes))
+		fmt.Print(bench.FormatCrossReport(report))
+		table = report.EngTable
+	} else {
+		t, winners, err := bench.AutoTuneEngine(eng, cands, sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Println("# real-engine auto-tuner grid winners:")
+		fmt.Print(bench.FormatWinners(winners))
+		table = t
+	}
+
+	if o.samplesPath != "" {
+		if err := log.Save(o.samplesPath); err != nil {
+			return err
+		}
+		fmt.Printf("# raw samples written to %s (%d records)\n", o.samplesPath, len(log.Records()))
+	}
+	if o.outPath != "" {
+		if err := tune.SaveTable(table, o.outPath); err != nil {
+			return err
+		}
+		fmt.Printf("# engine-derived tuning table written to %s (%d rules)\n", o.outPath, len(table.Rules))
+		return nil
+	}
+	data, err := table.JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println("# engine-derived tuning table:")
+	fmt.Println(string(data))
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive ints; empty input
+// yields nil.
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/collective"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 	"repro/internal/tune"
@@ -51,11 +52,16 @@ func main() {
 		segsFlag     = flag.String("segs", "", "comma-separated segment sizes for -autotune: sweep every segmented candidate over these instead of its default")
 		placeFlag    = flag.String("placements", "", "comma-separated placements for -autotune/-tune-table: single|blocked:N|round-robin:N; emits per-topology rule groups")
 		autotuneFlag = flag.Bool("autotune", false, "auto-tune over the registry and emit a JSON tuning table")
-		candFlag     = flag.String("candidates", "all", "auto-tune candidate set: all (whole registry) | mpich (the dispatcher's own family)")
+		candFlag     = flag.String("candidates", "all", "auto-tune candidate set: all (whole registry) | mpich (the dispatcher's own family) | list (print both sets with capability flags and exit)")
 		tableFlag    = flag.String("tune-table", "", "JSON tuning table: report tuned-vs-native dispatch on the model")
 		outFlag      = flag.String("o", "", "write -autotune output to this file instead of stdout")
 	)
 	flag.Parse()
+
+	if *candFlag == "list" {
+		printCandidates()
+		return
+	}
 
 	var model *netsim.Model
 	cores := *coresFlag
@@ -175,6 +181,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bcastsim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// printCandidates lists the auto-tune candidate sets with each
+// algorithm's capability flags, in the same format bcastbench -list uses.
+func printCandidates() {
+	inFamily := map[string]bool{}
+	for _, c := range bench.FamilyCandidates() {
+		inFamily[c.Name] = true
+	}
+	fmt.Println("# auto-tune candidates (schedule-static registry algorithms):")
+	for _, r := range collective.Algorithms() {
+		if r.Program == nil {
+			continue
+		}
+		set := "all"
+		if inFamily[r.Name] {
+			set = "all,mpich"
+		}
+		fmt.Printf("%-34s %-30s %-10s %s\n", r.Name, r.Caps.Label(), set, r.Summary)
 	}
 }
 

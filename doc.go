@@ -34,6 +34,17 @@
 // derives from Comm.Topology(). See internal/tune's package
 // documentation for the architecture.
 //
+// Measurement itself has two interchangeable substrates behind the
+// tune.Measurer seam: the netsim virtual-time model, and internal/measure
+// — the wall-clock subsystem that boots an engine.World per placement and
+// times the registered implementations goroutine-per-rank between
+// barriers, reducing warmed-up repetitions with robust statistics
+// (min/median/MAD-trimmed mean) and persisting raw samples as JSON. The
+// real-engine auto-tuner (bcastbench -autotune) derives tables from those
+// wall-clock runs, and bench.CrossCheck (bcastbench -crosscheck) derives
+// one table from each substrate over the same grid and reports the cells
+// where the cost model and the wall clock disagree on the winner.
+//
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; run them with
 //

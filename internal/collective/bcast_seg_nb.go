@@ -1,0 +1,112 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// ringAllgatherSegNB is the overlap-aware segmented ring allgather: the
+// same steps, segments and per-step tuned degeneration as
+// ringAllgatherSeg, but within each ring step every segment receive is
+// pre-posted through Irecv before the first segment is forwarded, and all
+// segment sends are issued as Isends — so while segment k of the send
+// chunk forwards, the receive for segment k+1 (and every later segment)
+// of the incoming chunk is already posted, the pattern
+// BcastScatterRingAllgatherOptNB demonstrates per whole chunk. Per
+// (sender, receiver, tag) non-overtaking order guarantees the pre-posted
+// receives match the neighbour's segments in schedule order, so the
+// traffic is message-for-message identical to the blocking segmented
+// ring.
+func ringAllgatherSegNB(c mpi.Comm, buf []byte, root int, tuned bool, segSize int) error {
+	p, rank := c.Size(), c.Rank()
+	if segSize <= 0 {
+		segSize = core.DefaultRingSegment
+	}
+	l := core.NewLayout(len(buf), p)
+	left := (p + rank - 1) % p
+	right := (rank + 1) % p
+
+	var sf core.StepFlag
+	if tuned {
+		sf = core.ComputeStepFlag(core.RelRank(rank, root, p), p)
+	}
+
+	j, jnext := rank, left
+	for i := 1; i < p; i++ {
+		relJ := core.RelRank(j, root, p)
+		relJnext := core.RelRank(jnext, root, p)
+		sendCnt, recvCnt := l.Count(relJ), l.Count(relJnext)
+		sendDisp, recvDisp := l.Disp(relJ), l.Disp(relJnext)
+
+		doSend, doRecv := true, true
+		if tuned && sf.Step > p-i {
+			doSend, doRecv = !sf.RecvOnly, sf.RecvOnly
+		}
+
+		var reqs []mpi.Request
+		if doRecv {
+			for s := 0; s < core.RingSegments(recvCnt, segSize); s++ {
+				off, length := core.SegSpan(recvCnt, segSize, s)
+				req, err := c.Irecv(buf[recvDisp+off:recvDisp+off+length], left, core.TagRing)
+				if err != nil {
+					return fmt.Errorf("collective: nb seg ring step %d seg %d irecv: %w", i, s, err)
+				}
+				reqs = append(reqs, req)
+			}
+		}
+		if doSend {
+			for s := 0; s < core.RingSegments(sendCnt, segSize); s++ {
+				off, length := core.SegSpan(sendCnt, segSize, s)
+				req, err := c.Isend(buf[sendDisp+off:sendDisp+off+length], right, core.TagRing)
+				if err != nil {
+					return fmt.Errorf("collective: nb seg ring step %d seg %d isend: %w", i, s, err)
+				}
+				reqs = append(reqs, req)
+			}
+		}
+		// The next step forwards the chunk received here, so the step
+		// boundary is a genuine dependency: wait for everything in flight.
+		if _, err := mpi.WaitAll(reqs...); err != nil {
+			return fmt.Errorf("collective: nb seg ring step %d: %w", i, err)
+		}
+		j = jnext
+		jnext = (p + jnext - 1) % p
+	}
+	return nil
+}
+
+// BcastScatterRingAllgatherSegNB is the overlap-aware segmented native
+// broadcast: binomial scatter followed by the enclosed ring allgather
+// pipelined in segSize chunks with pre-posted nonblocking segment
+// transfers. segSize <= 0 selects core.DefaultRingSegment.
+func BcastScatterRingAllgatherSegNB(c mpi.Comm, buf []byte, root, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if c.Size() == 1 {
+		return nil
+	}
+	if err := scatterForBcast(c, buf, root); err != nil {
+		return err
+	}
+	return ringAllgatherSegNB(c, buf, root, false, segSize)
+}
+
+// BcastScatterRingAllgatherOptSegNB is the overlap-aware segmented tuned
+// broadcast: binomial scatter followed by the paper's non-enclosed ring
+// allgather pipelined in segSize chunks with pre-posted nonblocking
+// segment transfers. segSize <= 0 selects core.DefaultRingSegment.
+func BcastScatterRingAllgatherOptSegNB(c mpi.Comm, buf []byte, root, segSize int) error {
+	if err := checkRoot(c, root); err != nil {
+		return err
+	}
+	if c.Size() == 1 {
+		return nil
+	}
+	if err := scatterForBcast(c, buf, root); err != nil {
+		return err
+	}
+	return ringAllgatherSegNB(c, buf, root, true, segSize)
+}

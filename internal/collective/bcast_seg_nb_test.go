@@ -1,0 +1,77 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mpi"
+)
+
+// TestSegNBIdenticalTraffic: the overlap-aware segmented rings transfer
+// exactly the blocking segmented rings' messages and bytes, for segment
+// sizes that split chunks unevenly — the registered schedules (shared
+// with the blocking variants) stay truthful for the NB pair.
+func TestSegNBIdenticalTraffic(t *testing.T) {
+	for _, p := range []int{2, 5, 8, 10, 13} {
+		for _, seg := range []int{1, 7, 64} {
+			n := 32*p + 5
+			for _, root := range []int{0, p - 1} {
+				blkNat := measureBcast(t, func(c mpi.Comm, buf []byte, r int) error {
+					return BcastScatterRingAllgatherSeg(c, buf, r, seg)
+				}, engine.Options{NP: p}, root, n)
+				nbNat := measureBcast(t, func(c mpi.Comm, buf []byte, r int) error {
+					return BcastScatterRingAllgatherSegNB(c, buf, r, seg)
+				}, engine.Options{NP: p}, root, n)
+				if blkNat.Total != nbNat.Total {
+					t.Fatalf("p=%d root=%d seg=%d: native nb traffic %+v != blocking %+v",
+						p, root, seg, nbNat.Total, blkNat.Total)
+				}
+				if blkNat.ByTag[core.TagRing] != nbNat.ByTag[core.TagRing] {
+					t.Fatalf("p=%d root=%d seg=%d: native nb ring traffic differs", p, root, seg)
+				}
+
+				blkOpt := measureBcast(t, func(c mpi.Comm, buf []byte, r int) error {
+					return BcastScatterRingAllgatherOptSeg(c, buf, r, seg)
+				}, engine.Options{NP: p}, root, n)
+				nbOpt := measureBcast(t, func(c mpi.Comm, buf []byte, r int) error {
+					return BcastScatterRingAllgatherOptSegNB(c, buf, r, seg)
+				}, engine.Options{NP: p}, root, n)
+				if blkOpt.Total != nbOpt.Total {
+					t.Fatalf("p=%d root=%d seg=%d: opt nb traffic %+v != blocking %+v",
+						p, root, seg, nbOpt.Total, blkOpt.Total)
+				}
+				if blkOpt.ByTag[core.TagRing] != nbOpt.ByTag[core.TagRing] {
+					t.Fatalf("p=%d root=%d seg=%d: opt nb ring traffic differs", p, root, seg)
+				}
+			}
+		}
+	}
+}
+
+// TestCapabilityTags pins the CLI flag labels the tools print next to
+// registry names.
+func TestCapabilityTags(t *testing.T) {
+	cases := []struct {
+		caps Capabilities
+		want string
+	}{
+		{Capabilities{}, ""},
+		{Capabilities{Segmented: true}, "segmented"},
+		{Capabilities{Pow2Only: true}, "pow2-only"},
+		{Capabilities{MultiNodeOnly: true}, "multi-node-only"},
+		{Capabilities{MinProcs: 2, Pow2Only: true, Segmented: true}, "min-procs=2 pow2-only segmented"},
+	}
+	for _, tc := range cases {
+		got := ""
+		for i, tag := range tc.caps.Tags() {
+			if i > 0 {
+				got += " "
+			}
+			got += tag
+		}
+		if got != tc.want {
+			t.Errorf("Tags(%+v) = %q, want %q", tc.caps, got, tc.want)
+		}
+	}
+}

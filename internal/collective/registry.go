@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -26,6 +27,36 @@ type Capabilities struct {
 	MultiNodeOnly bool
 	// Segmented marks algorithms that take a segment-size parameter.
 	Segmented bool
+}
+
+// Tags renders the constraints as short flag labels for CLI listings
+// (e.g. "pow2-only", "segmented"); an unconstrained algorithm yields nil.
+func (cp Capabilities) Tags() []string {
+	var tags []string
+	if cp.MinProcs > 0 {
+		tags = append(tags, fmt.Sprintf("min-procs=%d", cp.MinProcs))
+	}
+	if cp.Pow2Only {
+		tags = append(tags, "pow2-only")
+	}
+	if cp.MultiNodeOnly {
+		tags = append(tags, "multi-node-only")
+	}
+	if cp.Segmented {
+		tags = append(tags, "segmented")
+	}
+	return tags
+}
+
+// Label renders the flags as one bracketed CLI column ("-" when
+// unconstrained); bcastbench -list and bcastsim -candidates list share
+// it so their listings stay format-identical.
+func (cp Capabilities) Label() string {
+	tags := cp.Tags()
+	if len(tags) == 0 {
+		return "-"
+	}
+	return "[" + strings.Join(tags, " ") + "]"
 }
 
 // Match reports whether the environment satisfies the constraints.
@@ -135,15 +166,32 @@ func Candidates() []tune.Candidate {
 		if r.Program == nil {
 			continue
 		}
-		caps := r.Caps
-		out = append(out, tune.Candidate{
-			Name:      r.Name,
-			Segmented: caps.Segmented,
-			Applies:   caps.Match,
-			Program:   r.Program,
-		})
+		out = append(out, candidateOf(r))
 	}
 	return out
+}
+
+// AllCandidates adapts the whole registry, including algorithms without
+// a static schedule (the SMP broadcasts, whose pattern depends on
+// runtime communicator state). Only measurers that execute candidates by
+// name (tune.ProgramFree, like the real-engine measurer) can measure the
+// schedule-less entries; schedule-replaying measurers skip them.
+func AllCandidates() []tune.Candidate {
+	var out []tune.Candidate
+	for _, r := range Algorithms() {
+		out = append(out, candidateOf(r))
+	}
+	return out
+}
+
+func candidateOf(r Registration) tune.Candidate {
+	caps := r.Caps
+	return tune.Candidate{
+		Name:      r.Name,
+		Segmented: caps.Segmented,
+		Applies:   caps.Match,
+		Program:   r.Program,
+	}
 }
 
 // envOf builds the selection environment of a broadcast call. Node
@@ -244,6 +292,30 @@ func init() {
 		Summary: "binomial scatter + segmented non-enclosed ring allgather (pipelined MPI_Bcast_opt)",
 		Run: func(c mpi.Comm, buf []byte, root, segSize int) error {
 			return BcastScatterRingAllgatherOptSeg(c, buf, root, segSize)
+		},
+		Caps: Capabilities{Segmented: true},
+		Program: func(p, root, n, segSize int) (*sched.Program, error) {
+			return core.BcastOptSegProgram(p, root, n, segSize), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.RingSegNB,
+		Summary: "segmented enclosed ring with pre-posted nonblocking segment transfers (overlap pipeline)",
+		Run: func(c mpi.Comm, buf []byte, root, segSize int) error {
+			return BcastScatterRingAllgatherSegNB(c, buf, root, segSize)
+		},
+		Caps: Capabilities{Segmented: true},
+		// Message-for-message the blocking segmented ring's traffic, so
+		// the same schedule describes it.
+		Program: func(p, root, n, segSize int) (*sched.Program, error) {
+			return core.BcastNativeSegProgram(p, root, n, segSize), nil
+		},
+	})
+	MustRegister(Registration{
+		Name:    tune.RingOptSegNB,
+		Summary: "segmented non-enclosed ring with pre-posted nonblocking segment transfers (overlap pipeline)",
+		Run: func(c mpi.Comm, buf []byte, root, segSize int) error {
+			return BcastScatterRingAllgatherOptSegNB(c, buf, root, segSize)
 		},
 		Caps: Capabilities{Segmented: true},
 		Program: func(p, root, n, segSize int) (*sched.Program, error) {

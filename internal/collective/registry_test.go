@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		tune.Binomial, tune.Chain, tune.ScatterRdb,
 		tune.RingNative, tune.RingOpt, tune.RingSeg, tune.RingOptSeg,
+		tune.RingSegNB, tune.RingOptSegNB,
 		tune.SMP, tune.SMPOpt,
 	}
 	for _, name := range want {

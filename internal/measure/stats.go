@@ -1,0 +1,143 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// madScale converts a median absolute deviation into a consistent
+// estimate of the standard deviation for normally distributed samples
+// (1 / Phi^-1(3/4)).
+const madScale = 1.4826
+
+// madCutoff is the rejection threshold in scaled-MAD units: a sample
+// farther than this many robust standard deviations from the median is
+// an outlier.
+const madCutoff = 3.0
+
+// Summary is the statistical digest of one measurement's repetition
+// samples. All times are seconds.
+type Summary struct {
+	// N is the number of samples summarized.
+	N int `json:"n"`
+	// Min and Max are the sample extremes.
+	Min float64 `json:"min_sec"`
+	Max float64 `json:"max_sec"`
+	// Mean is the plain arithmetic mean of all samples.
+	Mean float64 `json:"mean_sec"`
+	// Median is the sample median (midpoint average for even N).
+	Median float64 `json:"median_sec"`
+	// TrimmedMean is the mean of the samples surviving MAD-based outlier
+	// rejection — the default statistic reported to the tuner.
+	TrimmedMean float64 `json:"trimmed_mean_sec"`
+	// Rejected counts the samples discarded as outliers.
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// Summarize reduces raw samples to a Summary. The outlier rule is the
+// scaled-MAD criterion: a sample is rejected when its distance from the
+// median exceeds madCutoff robust standard deviations (madScale * MAD).
+// A zero MAD (at least half the samples identical) rejects nothing, so
+// perfectly repeatable runs — and deterministic tests — pass through
+// untouched. Summarize is deterministic: the same samples in any order
+// yield the same Summary.
+func Summarize(samples []float64) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("measure: no samples to summarize")
+	}
+	for i, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return Summary{}, fmt.Errorf("measure: sample %d is %v", i, s)
+		}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	sum := Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean(sorted),
+		Median: medianSorted(sorted),
+	}
+
+	dev := make([]float64, len(sorted))
+	for i, s := range sorted {
+		dev[i] = math.Abs(s - sum.Median)
+	}
+	sort.Float64s(dev)
+	mad := medianSorted(dev)
+
+	if mad == 0 {
+		sum.TrimmedMean = sum.Mean
+		return sum, nil
+	}
+	cut := madCutoff * madScale * mad
+	var kept []float64
+	for _, s := range sorted {
+		if math.Abs(s-sum.Median) <= cut {
+			kept = append(kept, s)
+		}
+	}
+	sum.Rejected = sum.N - len(kept)
+	sum.TrimmedMean = mean(kept)
+	return sum, nil
+}
+
+func mean(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// medianSorted returns the median of an already-sorted non-empty slice.
+func medianSorted(xs []float64) float64 {
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
+	}
+	return (xs[mid-1] + xs[mid]) / 2
+}
+
+// Stat selects which Summary statistic a measurement reports to the
+// tuner.
+type Stat string
+
+// The reportable statistics. StatTrimmed is the default: it tracks the
+// central tendency like the mean but survives scheduler hiccups; StatMin
+// is the classic noise floor ("the fastest the machine can go"); and
+// StatMedian sits between the two.
+const (
+	StatMin     Stat = "min"
+	StatMedian  Stat = "median"
+	StatTrimmed Stat = "trimmed"
+)
+
+// ParseStat maps a CLI name to a Stat; the empty string selects the
+// default (StatTrimmed).
+func ParseStat(s string) (Stat, error) {
+	switch Stat(s) {
+	case "":
+		return StatTrimmed, nil
+	case StatMin, StatMedian, StatTrimmed:
+		return Stat(s), nil
+	default:
+		return "", fmt.Errorf("measure: unknown statistic %q (min|median|trimmed)", s)
+	}
+}
+
+// Of extracts the selected statistic from a summary; an unset Stat reads
+// as StatTrimmed.
+func (s Stat) Of(sum Summary) float64 {
+	switch s {
+	case StatMin:
+		return sum.Min
+	case StatMedian:
+		return sum.Median
+	default:
+		return sum.TrimmedMean
+	}
+}

@@ -1,0 +1,134 @@
+package measure
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSummarizeBasics(t *testing.T) {
+	// Odd count, no outliers: MAD of {1..5} around median 3 is 1, cutoff
+	// 3*1.4826 ≈ 4.45, so nothing is rejected.
+	sum, err := Summarize([]float64{3, 1, 4, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 5 || !approx(sum.Min, 1) || !approx(sum.Max, 5) {
+		t.Errorf("N/Min/Max = %d/%v/%v, want 5/1/5", sum.N, sum.Min, sum.Max)
+	}
+	if !approx(sum.Mean, 3) || !approx(sum.Median, 3) {
+		t.Errorf("Mean/Median = %v/%v, want 3/3", sum.Mean, sum.Median)
+	}
+	if sum.Rejected != 0 || !approx(sum.TrimmedMean, 3) {
+		t.Errorf("TrimmedMean/Rejected = %v/%d, want 3/0", sum.TrimmedMean, sum.Rejected)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	sum, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sum.Median, 2.5) {
+		t.Errorf("Median = %v, want 2.5", sum.Median)
+	}
+}
+
+func TestSummarizeRejectsOutlier(t *testing.T) {
+	// Tight cluster around 1.0 plus one scheduler hiccup at 50: median
+	// 1.005, MAD = 0.015, cutoff ≈ 0.067, so exactly the hiccup is
+	// rejected and the trimmed mean recovers the cluster average.
+	samples := []float64{0.99, 1.00, 1.01, 1.02, 0.98, 50}
+	sum, err := Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1 (summary %+v)", sum.Rejected, sum)
+	}
+	if !approx(sum.TrimmedMean, 1.0) {
+		t.Errorf("TrimmedMean = %v, want 1.0", sum.TrimmedMean)
+	}
+	// The plain mean is dragged far off by the outlier; the robust
+	// statistics are not.
+	if sum.Mean < 9 {
+		t.Errorf("Mean = %v, expected it polluted by the outlier", sum.Mean)
+	}
+	if !approx(sum.Median, 1.005) {
+		t.Errorf("Median = %v, want 1.005", sum.Median)
+	}
+}
+
+func TestSummarizeZeroMADKeepsAll(t *testing.T) {
+	// More than half the samples identical makes the MAD zero; the rule
+	// must then reject nothing (not everything).
+	sum, err := Summarize([]float64{2, 2, 2, 2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rejected != 0 {
+		t.Errorf("Rejected = %d, want 0", sum.Rejected)
+	}
+	if !approx(sum.TrimmedMean, 3) {
+		t.Errorf("TrimmedMean = %v, want 3 (plain mean)", sum.TrimmedMean)
+	}
+}
+
+func TestSummarizeOrderIndependent(t *testing.T) {
+	a, err := Summarize([]float64{5, 1, 9, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Summarize([]float64{1, 1, 1, 1, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("summaries differ by order: %+v vs %+v", a, b)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty samples: want error")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN sample: want error")
+	}
+	if _, err := Summarize([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("Inf sample: want error")
+	}
+}
+
+func TestStatSelection(t *testing.T) {
+	sum := Summary{Min: 1, Median: 2, TrimmedMean: 3}
+	cases := []struct {
+		stat Stat
+		want float64
+	}{
+		{StatMin, 1},
+		{StatMedian, 2},
+		{StatTrimmed, 3},
+		{Stat(""), 3}, // zero value reads as the default
+	}
+	for _, tc := range cases {
+		if got := tc.stat.Of(sum); !approx(got, tc.want) {
+			t.Errorf("Stat(%q).Of = %v, want %v", tc.stat, got, tc.want)
+		}
+	}
+}
+
+func TestParseStat(t *testing.T) {
+	for _, ok := range []string{"", "min", "median", "trimmed"} {
+		if _, err := ParseStat(ok); err != nil {
+			t.Errorf("ParseStat(%q): %v", ok, err)
+		}
+	}
+	if s, err := ParseStat(""); err != nil || s != StatTrimmed {
+		t.Errorf("ParseStat(\"\") = (%q, %v), want default %q", s, err, StatTrimmed)
+	}
+	if _, err := ParseStat("mode"); err == nil {
+		t.Error("ParseStat(\"mode\"): want error")
+	}
+}

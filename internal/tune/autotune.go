@@ -41,6 +41,22 @@ type Measurer interface {
 	Env(p, n int) Env
 }
 
+// ProgramFree is implemented by measurers that execute candidates by
+// name and need no static schedule (the real-engine measurer): for
+// those, the tuning grid also considers candidates without a Program.
+// Measurers that replay schedules (SimMeasurer) don't implement it, and
+// schedule-less candidates are skipped on their grids.
+type ProgramFree interface {
+	ProgramFree() bool
+}
+
+// needsProgram reports whether m can only measure candidates carrying a
+// static schedule.
+func needsProgram(m Measurer) bool {
+	pf, ok := m.(ProgramFree)
+	return !ok || !pf.ProgramFree()
+}
+
 // Placement names one rank-to-node mapping shape for placement sweeps.
 type Placement struct {
 	// Kind is one of the topology.Kind* names; KindSingle ignores
@@ -197,13 +213,14 @@ type Winner struct {
 // point and returns the per-point winners. procs and sizes must be
 // sorted.
 func tuneGrid(cands []Candidate, m Measurer, procs, sizes []int) ([]Winner, error) {
+	skipNoProgram := needsProgram(m)
 	var winners []Winner
 	for _, p := range procs {
 		for _, n := range sizes {
 			e := m.Env(p, n)
 			best := Winner{Procs: p, Bytes: n, Env: e, Seconds: -1}
 			for _, c := range cands {
-				if c.Program == nil {
+				if c.Program == nil && skipNoProgram {
 					continue
 				}
 				if c.Applies != nil && !c.Applies(e) {
@@ -269,10 +286,11 @@ func crossoverRules(winners []Winner, procs []int, mark func(*Rule)) []Rule {
 // literature. The winners themselves are returned alongside for
 // reporting.
 //
-// Candidates without a static schedule, or whose Applies predicate
-// rejects the measurement environment, are skipped at that point; a grid
-// point where no candidate can be measured is an error. For segment-size
-// and placement sweeps, see AutoTuneSweep.
+// Candidates whose Applies predicate rejects the measurement
+// environment are skipped at that point, as are candidates without a
+// static schedule unless the measurer declares itself ProgramFree; a
+// grid point where no candidate can be measured is an error. For
+// segment-size and placement sweeps, see AutoTuneSweep.
 func AutoTune(cands []Candidate, m Measurer, procs, sizes []int) (*Table, []Winner, error) {
 	if len(cands) == 0 {
 		return nil, nil, fmt.Errorf("tune: no candidates")
