@@ -1,0 +1,148 @@
+package bcast_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/bcast"
+)
+
+// waitGoroutines polls until the goroutine count returns to at most
+// base+slack: a canceled run must not strand rank goroutines.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	const slack = 2
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+slack {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now, baseline %d", runtime.NumGoroutine(), base)
+}
+
+// TestCancelInFlightBroadcast cancels a broadcast that can never
+// complete (the root withholds its payload by blocking in a receive no
+// one answers) and checks: Run returns promptly, the error carries
+// context.Canceled, every rank unwound, and no goroutine leaked.
+func TestCancelInFlightBroadcast(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cl, err := bcast.NewCluster(context.Background(), bcast.Procs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = cl.Run(ctx, func(c bcast.Comm) error {
+		if c.Rank() == 0 {
+			// The root never enters the broadcast: it blocks in a
+			// receive nobody matches, so all other ranks stay blocked
+			// inside Bcast until cancellation unwinds them.
+			_, err := c.Recv(ctx, make([]byte, 1), bcast.AnySource, 7)
+			return err
+		}
+		buf := make([]byte, 1<<20)
+		return c.Bcast(ctx, buf, 0)
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("canceled run returned nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("run error does not wrap context.Canceled: %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("cancellation took %v, want prompt unwind", elapsed)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestDeadlineAbortsRun checks deadline expiry behaves like
+// cancellation, with context.DeadlineExceeded as the cause.
+func TestDeadlineAbortsRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	cl, err := bcast.NewCluster(context.Background(), bcast.Procs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cl.Run(ctx, func(c bcast.Comm) error {
+		if c.Rank() == 0 {
+			<-ctx.Done() // never participates
+			return nil
+		}
+		return c.Barrier(ctx)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("run error does not wrap context.DeadlineExceeded: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestBaseContextCancelsRun checks the cluster-level context given to
+// NewCluster aborts a Run whose own context never fires.
+func TestBaseContextCancelsRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	clusterCtx, cancel := context.WithCancel(context.Background())
+	cl, err := bcast.NewCluster(clusterCtx, bcast.Procs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		cancel()
+	}()
+	runCtx := context.Background()
+	err = cl.Run(runCtx, func(c bcast.Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Recv(runCtx, make([]byte, 1), bcast.AnySource, 9)
+			return err
+		}
+		buf := make([]byte, 1<<20)
+		return c.Bcast(runCtx, buf, 0)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("run error does not wrap context.Canceled from the base context: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRanksSeeCancellationError checks the error each rank's blocked
+// call returns also carries the cause, so application code can
+// errors.Is on it.
+func TestRanksSeeCancellationError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cl, err := bcast.NewCluster(context.Background(), bcast.Procs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		cancel()
+	}()
+	rankErrs := make([]error, 4) // each slot written by one rank only
+	_ = cl.Run(ctx, func(c bcast.Comm) error {
+		if c.Rank() == 0 {
+			<-ctx.Done()
+			return nil
+		}
+		buf := make([]byte, 1<<20)
+		rankErrs[c.Rank()] = c.Bcast(ctx, buf, 0)
+		return rankErrs[c.Rank()]
+	})
+	for r := 1; r < 4; r++ {
+		if !errors.Is(rankErrs[r], context.Canceled) {
+			t.Errorf("rank %d broadcast error does not wrap context.Canceled: %v", r, rankErrs[r])
+		}
+	}
+}

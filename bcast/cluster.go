@@ -1,0 +1,153 @@
+package bcast
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/tune"
+)
+
+// Cluster is a configured group of ranks. It is reusable: every Run
+// boots a fresh engine world with the cluster's placement and options,
+// so sequential Runs are independent (traffic tracing, when enabled,
+// accumulates across them). A Cluster must not be shared by concurrent
+// Runs.
+type Cluster struct {
+	base      context.Context
+	np        int
+	topo      *topology.Map
+	opts      callDefaults
+	eager     int
+	timeout   time.Duration
+	collector *trace.Collector
+}
+
+// NewCluster validates the options and returns a Cluster bound to ctx:
+// cancellation of ctx aborts every subsequent Run, in addition to the
+// per-Run context. The Procs option is required; everything else
+// defaults (single-node placement, stock MPICH3 selection).
+func NewCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, fmt.Errorf("bcast: cluster context already canceled: %w", err)
+	}
+	var cfg config
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("bcast: nil option")
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	topo, err := cfg.topo()
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		base:    ctx,
+		np:      cfg.np,
+		topo:    topo,
+		opts:    callDefaults{o: cfg.opts},
+		eager:   cfg.eager,
+		timeout: cfg.timeout,
+	}
+	if cfg.traffic {
+		cl.collector = trace.NewCollector()
+	}
+	return cl, nil
+}
+
+// NP returns the number of ranks.
+func (cl *Cluster) NP() int { return cl.np }
+
+// NumNodes returns the number of distinct nodes in the placement.
+func (cl *Cluster) NumNodes() int { return cl.topo.NumNodes() }
+
+// Placement returns the placement classification: "single", "blocked",
+// "round-robin" or "irregular".
+func (cl *Cluster) Placement() string { return cl.topo.Kind() }
+
+// Decision reports which algorithm the cluster's options (overridden by
+// any per-call options) would select for an n-byte broadcast over the
+// full cluster, without moving a byte. Inside Run, Comm.Decision is the
+// same resolution for that rank's communicator.
+func (cl *Cluster) Decision(n int, opts ...CallOption) Decision {
+	o := cl.opts.merge(opts)
+	return decisionOut(o.Decide(tune.EnvOf(n, cl.np, cl.topo)))
+}
+
+// Run executes fn once per rank, concurrently, and waits for all ranks.
+// A rank returning an error (or panicking) aborts the whole run; so
+// does cancellation of ctx or of the cluster's base context — every
+// blocked operation on every rank then returns an error wrapping the
+// cause, and Run returns with no rank goroutine left behind. The Comm
+// passed to fn is only valid during the call.
+func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
+	if fn == nil {
+		return fmt.Errorf("bcast: nil rank function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Merge the cluster's base context into the run context, preserving
+	// the cancellation cause of whichever fires first.
+	if cl.base.Done() != nil {
+		merged, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		stop := context.AfterFunc(cl.base, func() {
+			cancel(context.Cause(cl.base))
+		})
+		defer stop()
+		ctx = merged
+	}
+	w, err := engine.NewWorld(engine.Options{
+		NP:         cl.np,
+		Topology:   cl.topo,
+		EagerLimit: cl.eager,
+		Timeout:    cl.timeout,
+	})
+	if err != nil {
+		return fmt.Errorf("bcast: %w", err)
+	}
+	return w.RunContext(ctx, func(mc mpiComm) error {
+		if cl.collector != nil {
+			mc = cl.collector.Wrap(mc)
+		}
+		return fn(Comm{mc: mc, defaults: cl.opts})
+	})
+}
+
+// Traffic describes the message traffic of a cluster's runs, classified
+// through the placement: Inter counts messages whose sender and
+// receiver sit on different nodes — the traffic the paper's
+// optimization saves.
+type Traffic struct {
+	Messages, Bytes           int64
+	IntraMessages, IntraBytes int64
+	InterMessages, InterBytes int64
+}
+
+// Traffic returns the totals accumulated over the cluster's finished
+// runs. It reports false unless the cluster was built with
+// TraceTraffic. Call it between Runs, not during one.
+func (cl *Cluster) Traffic() (Traffic, bool) {
+	if cl.collector == nil {
+		return Traffic{}, false
+	}
+	s := cl.collector.Stats()
+	return Traffic{
+		Messages: s.Total.Messages, Bytes: s.Total.Bytes,
+		IntraMessages: s.Intra.Messages, IntraBytes: s.Intra.Bytes,
+		InterMessages: s.Inter.Messages, InterBytes: s.Inter.Bytes,
+	}, true
+}

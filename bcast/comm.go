@@ -1,0 +1,216 @@
+package bcast
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/collective"
+	"repro/internal/mpi"
+	"repro/internal/tune"
+)
+
+// mpiComm abbreviates the internal communicator interface in signatures
+// that cannot mention it publicly.
+type mpiComm = mpi.Comm
+
+// Wildcards for Recv, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
+const (
+	// AnySource matches a message from any rank.
+	AnySource = mpi.AnySource
+	// AnyTag matches a message with any tag.
+	AnyTag = mpi.AnyTag
+	// MaxUserTag is the largest tag application code may use; larger
+	// values are reserved for the collective algorithms.
+	MaxUserTag = mpi.MaxUserTag
+)
+
+// Status describes a completed receive.
+type Status struct {
+	// Source is the rank that sent the message (resolved even for
+	// AnySource receives).
+	Source int
+	// Tag is the message tag (resolved even for AnyTag receives).
+	Tag int
+	// Count is the number of payload bytes transferred.
+	Count int
+}
+
+// callDefaults carries a cluster's selection defaults into each Comm.
+type callDefaults struct{ o collective.Options }
+
+// merge applies per-call options over the defaults.
+func (d callDefaults) merge(opts []CallOption) collective.Options {
+	o := d.o
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// CallOption overrides the cluster's selection defaults for a single
+// call (or a single Decision query).
+type CallOption func(*collective.Options)
+
+// WithAlgorithm pins this call to a registered algorithm, bypassing the
+// tuner.
+func WithAlgorithm(name string) CallOption {
+	return func(o *collective.Options) {
+		o.Algorithm = name
+		o.Tuner = nil
+	}
+}
+
+// WithSegSize sets this call's pipeline segment size in bytes.
+func WithSegSize(n int) CallOption {
+	return func(o *collective.Options) { o.SegSize = n }
+}
+
+// WithTuner selects this call's algorithm through fn instead of the
+// cluster's default; a nil fn selects the default MPICH3 dispatch.
+func WithTuner(fn TunerFunc) CallOption {
+	return func(o *collective.Options) {
+		o.Algorithm = ""
+		if fn == nil {
+			o.Tuner = nil
+			return
+		}
+		o.Tuner = tunerAdapter{fn: fn}
+	}
+}
+
+// Comm is one rank's view of a running cluster. It is valid only inside
+// the Run invocation that received it, and only on that rank's
+// goroutine. Every communicating method is collective unless stated
+// otherwise (all ranks must call it with compatible arguments) and
+// takes a context whose cancellation unwinds the whole run (see the
+// package documentation).
+type Comm struct {
+	mc       mpi.Comm
+	defaults callDefaults
+}
+
+// Rank returns the caller's rank, in [0, Size).
+func (c Comm) Rank() int { return c.mc.Rank() }
+
+// Size returns the number of ranks.
+func (c Comm) Size() int { return c.mc.Size() }
+
+// NumNodes returns the number of distinct nodes hosting the ranks.
+func (c Comm) NumNodes() int { return c.mc.Topology().NumNodes() }
+
+// Placement returns the placement classification of the ranks.
+func (c Comm) Placement() string { return c.mc.Topology().Kind() }
+
+// bind attaches ctx to the underlying communicator for one operation.
+func (c Comm) bind(ctx context.Context) mpi.Comm {
+	return mpi.WithContext(ctx, c.mc)
+}
+
+// env is the selection environment of an n-byte collective here.
+func (c Comm) env(n int) tune.Env {
+	return tune.EnvOf(n, c.mc.Size(), c.mc.Topology())
+}
+
+// Decision reports which algorithm an n-byte Bcast with the same
+// options would run, without moving a byte. Not collective.
+func (c Comm) Decision(n int, opts ...CallOption) Decision {
+	return decisionOut(c.defaults.merge(opts).Decide(c.env(n)))
+}
+
+// Bcast broadcasts buf from root: on the root the buffer is the
+// message, everywhere else it is overwritten with it. The algorithm is
+// selected by the cluster options merged with opts — see the package
+// documentation for the selection path.
+func (c Comm) Bcast(ctx context.Context, buf []byte, root int, opts ...CallOption) error {
+	return collective.Broadcast(c.bind(ctx), buf, root, c.defaults.merge(opts))
+}
+
+// Barrier synchronizes all ranks.
+func (c Comm) Barrier(ctx context.Context) error {
+	return collective.Barrier(c.bind(ctx))
+}
+
+// Send delivers buf to rank to with the given tag (at most MaxUserTag),
+// blocking until the buffer may be reused. Not collective — the peer
+// must post a matching Recv.
+func (c Comm) Send(ctx context.Context, buf []byte, to, tag int) error {
+	return c.bind(ctx).Send(buf, to, tag)
+}
+
+// Recv blocks until a message matching (from, tag) — wildcards
+// AnySource and AnyTag allowed — arrives and is copied into buf. Not
+// collective.
+func (c Comm) Recv(ctx context.Context, buf []byte, from, tag int) (Status, error) {
+	st, err := c.bind(ctx).Recv(buf, from, tag)
+	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, err
+}
+
+// Scatter distributes consecutive chunk-byte pieces of send (significant
+// only on the root, length Size*chunk) so rank i receives piece i into
+// recv (length chunk).
+func (c Comm) Scatter(ctx context.Context, send []byte, chunk int, recv []byte, root int) error {
+	return collective.Scatter(c.bind(ctx), send, chunk, recv, root)
+}
+
+// Gather collects each rank's chunk-byte send buffer into recv on the
+// root (length Size*chunk, significant only there), rank i's
+// contribution at offset i*chunk.
+func (c Comm) Gather(ctx context.Context, send []byte, chunk int, recv []byte, root int) error {
+	return collective.Gather(c.bind(ctx), send, chunk, recv, root)
+}
+
+// Allgather is Gather delivered to every rank: recv (length Size*chunk)
+// holds rank i's send at offset i*chunk on all ranks.
+func (c Comm) Allgather(ctx context.Context, send []byte, chunk int, recv []byte) error {
+	return collective.Allgather(c.bind(ctx), send, chunk, recv)
+}
+
+// Op is a reduction operator over float64 vectors.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+)
+
+// opIn maps the public operator onto the executable one.
+func opIn(op Op) (collective.Op, error) {
+	switch op {
+	case OpSum:
+		return collective.OpSum, nil
+	case OpProd:
+		return collective.OpProd, nil
+	case OpMax:
+		return collective.OpMax, nil
+	case OpMin:
+		return collective.OpMin, nil
+	default:
+		return 0, fmt.Errorf("bcast: unknown reduction operator %d", int(op))
+	}
+}
+
+// AllreduceFloat64 combines every rank's in element-wise with op and
+// leaves the identical result in out on all ranks. len(in) must equal
+// len(out) and match across ranks.
+func (c Comm) AllreduceFloat64(ctx context.Context, in, out []float64, op Op) error {
+	cop, err := opIn(op)
+	if err != nil {
+		return err
+	}
+	return collective.AllreduceFloat64(c.bind(ctx), in, out, cop)
+}
+
+// ReduceFloat64 combines every rank's in element-wise with op into out
+// on the root (significant only there).
+func (c Comm) ReduceFloat64(ctx context.Context, in, out []float64, op Op, root int) error {
+	cop, err := opIn(op)
+	if err != nil {
+		return err
+	}
+	return collective.ReduceFloat64(c.bind(ctx), in, out, cop, root)
+}

@@ -1,0 +1,63 @@
+package bcast
+
+import (
+	"context"
+	"fmt"
+	"unsafe"
+)
+
+// Scalar constrains the element types of the typed collective helpers
+// to fixed-layout numerics, so a slice can travel as its raw bytes.
+// (The engine is in-process shared memory — there is no endianness or
+// ABI boundary to cross.)
+type Scalar interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~int |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uint |
+		~float32 | ~float64
+}
+
+// asBytes reinterprets a scalar slice as its backing bytes (zero copy).
+func asBytes[T Scalar](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+// BcastSlice broadcasts s from root: the root's elements overwrite
+// every other rank's. All ranks must pass slices of equal length.
+func BcastSlice[T Scalar](ctx context.Context, c Comm, s []T, root int, opts ...CallOption) error {
+	return c.Bcast(ctx, asBytes(s), root, opts...)
+}
+
+// ScatterSlice distributes consecutive len(recv)-element pieces of send
+// so rank i receives piece i. send is significant only on the root,
+// where its length must be Size*len(recv).
+func ScatterSlice[T Scalar](ctx context.Context, c Comm, send, recv []T, root int) error {
+	if c.Rank() == root && len(send) != c.Size()*len(recv) {
+		return fmt.Errorf("bcast: scatter send has %d elements, want Size*len(recv) = %d", len(send), c.Size()*len(recv))
+	}
+	chunk := len(recv) * int(unsafe.Sizeof(*new(T)))
+	return c.Scatter(ctx, asBytes(send), chunk, asBytes(recv), root)
+}
+
+// GatherSlice collects each rank's send into recv on the root (length
+// Size*len(send), significant only there), rank i's contribution at
+// element offset i*len(send).
+func GatherSlice[T Scalar](ctx context.Context, c Comm, send, recv []T, root int) error {
+	if c.Rank() == root && len(recv) != c.Size()*len(send) {
+		return fmt.Errorf("bcast: gather recv has %d elements, want Size*len(send) = %d", len(recv), c.Size()*len(send))
+	}
+	chunk := len(send) * int(unsafe.Sizeof(*new(T)))
+	return c.Gather(ctx, asBytes(send), chunk, asBytes(recv), root)
+}
+
+// AllgatherSlice is GatherSlice delivered to every rank; recv must have
+// Size*len(send) elements on all ranks.
+func AllgatherSlice[T Scalar](ctx context.Context, c Comm, send, recv []T) error {
+	if len(recv) != c.Size()*len(send) {
+		return fmt.Errorf("bcast: allgather recv has %d elements, want Size*len(send) = %d", len(recv), c.Size()*len(send))
+	}
+	chunk := len(send) * int(unsafe.Sizeof(*new(T)))
+	return c.Allgather(ctx, asBytes(send), chunk, asBytes(recv))
+}

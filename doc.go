@@ -8,31 +8,43 @@
 // each rank ownership-aware and skips those transfers, saving bandwidth
 // with the same step count.
 //
-// This module contains the complete system: an MPI-like runtime
-// (internal/engine), the broadcast algorithm family and its analytic
-// traffic model (internal/core, internal/collective), the pluggable
-// algorithm registry and auto-tuning subsystem that replaces MPICH3's
-// hardcoded dispatch (internal/collective's registry + internal/tune),
-// a deterministic cluster simulator that regenerates the paper's figures
-// at full scale (internal/netsim), traffic tracing (internal/trace), the
-// measurement harnesses (internal/bench), command-line tools (cmd/...),
-// and runnable examples (examples/...). See README.md for the tour and
-// EXPERIMENTS.md for the paper-versus-measured record.
+// This module contains the complete system: the public API facade
+// (package bcast — the module's importable surface), an MPI-like
+// runtime (internal/engine), the broadcast algorithm family and its
+// analytic traffic model (internal/core, internal/collective), the
+// pluggable algorithm registry and auto-tuning subsystem that replaces
+// MPICH3's hardcoded dispatch (internal/collective's registry +
+// internal/tune), a deterministic cluster simulator that regenerates
+// the paper's figures at full scale (internal/netsim), traffic tracing
+// (internal/trace), the measurement harnesses (internal/bench),
+// command-line tools (cmd/...), and runnable examples (examples/...).
+// See README.md for the tour, the quickstart and the tuning workflow.
 //
-// Algorithm selection is a first-class subsystem: every broadcast
-// registers into a named registry with capability predicates, Bcast and
-// BcastOpt dispatch through a Tuner (default: MPICH3's thresholds,
-// reproduced bit-for-bit), and tune.AutoTune derives JSON tuning tables
-// from measured crossover points on the simulated cluster (bcastsim
-// -autotune) or the real engine. Segmentation is generalized from the
-// chain broadcast to the whole scatter-ring family
+// Package bcast is how users reach the stack: bcast.NewCluster boots a
+// placed group of ranks from functional options, Cluster.Run hands each
+// rank a method-based Comm, and every communicating method takes a
+// context.Context whose cancellation unwinds all ranks without leaking
+// goroutines (plumbed through the engine's point-to-point operations).
+// The examples import only this package.
+//
+// Algorithm selection is a first-class subsystem with exactly one
+// path: every entry point — the facade's options, Bcast/BcastOpt/
+// BcastWith, the bench harness — resolves to a collective.Options value
+// whose Decide turns the call's environment into a tune.Decision that
+// the registry executes. Every broadcast registers into that named
+// registry with capability predicates; the default tuner reproduces
+// MPICH3's thresholds bit-for-bit, and tune.AutoTune derives JSON
+// tuning tables from measured crossover points on the simulated cluster
+// (bcastsim -autotune) or the real engine (bcastbench -autotune), which
+// bcast.TuneTable loads back at the API boundary. Segmentation is
+// generalized from the chain broadcast to the whole scatter-ring family
 // (scatter-ring-allgather-seg, scatter-ring-allgather-opt-seg), and
 // tune.AutoTuneSweep re-measures the grid across segment sizes and
 // process placements (blocked vs round-robin at varying cores per node;
-// bcastsim -segs/-placements), emitting placement-keyed rule groups that
-// resolve at run time through the environment collective.BcastWith
-// derives from Comm.Topology(). See internal/tune's package
-// documentation for the architecture.
+// bcastsim -segs/-placements), emitting placement-keyed rule groups
+// that resolve at run time through the environment derived from
+// Comm.Topology(). See internal/tune's package documentation for the
+// architecture.
 //
 // Measurement itself has two interchangeable substrates behind the
 // tune.Measurer seam: the netsim virtual-time model, and internal/measure

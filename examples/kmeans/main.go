@@ -1,21 +1,21 @@
 // Kmeans runs distributed k-means clustering: every iteration the root
 // broadcasts the current centroids (a medium-sized message on a
 // non-power-of-two communicator — exactly the paper's mmsg-npof2 case)
-// and the ranks combine their partial sums with an allreduce.
+// and the ranks combine their partial sums with an allreduce. The whole
+// exchange goes through the public bcast facade; the typed BcastSlice
+// helper moves the centroid vector with no manual encoding.
 //
 //	go run ./examples/kmeans
 package main
 
 import (
-	"encoding/binary"
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
-	"repro/internal/collective"
-	"repro/internal/engine"
-	"repro/internal/mpi"
+	"repro/bcast"
 )
 
 const (
@@ -28,7 +28,12 @@ const (
 )
 
 func main() {
-	err := engine.Run(np, func(c mpi.Comm) error {
+	ctx := context.Background()
+	cl, err := bcast.NewCluster(ctx, bcast.Procs(np))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cl.Run(ctx, func(c bcast.Comm) error {
 		// Each rank owns a deterministic shard of points drawn around
 		// k well-separated true centers.
 		rng := rand.New(rand.NewSource(int64(100 + c.Rank())))
@@ -40,19 +45,15 @@ func main() {
 			copy(centroids, points[:k*dims])
 		}
 
-		buf := make([]byte, 8*k*dims)
 		for iter := 0; iter < iterations; iter++ {
 			// Broadcast current centroids: 4 KiB here; at production
 			// scale this is the medium-message broadcast the paper
-			// tunes for non-power-of-two ranks. Use the tuned ring
-			// directly, as the paper's user-level experiments do.
-			if c.Rank() == root {
-				encodeFloats(buf, centroids)
-			}
-			if err := collective.BcastScatterRingAllgatherOpt(c, buf, root); err != nil {
+			// tunes for non-power-of-two ranks. Pin the tuned ring,
+			// as the paper's user-level experiments do.
+			if err := bcast.BcastSlice(ctx, c, centroids, root,
+				bcast.WithAlgorithm(bcast.RingOpt)); err != nil {
 				return fmt.Errorf("iter %d bcast: %w", iter, err)
 			}
-			decodeFloats(buf, centroids)
 
 			// Assign local points, accumulate sums and counts.
 			sums := make([]float64, k*dims+k) // per-cluster sums, then counts
@@ -73,7 +74,7 @@ func main() {
 
 			// Combine partial sums everywhere.
 			total := make([]float64, len(sums))
-			if err := collective.AllreduceFloat64(c, sums, total, collective.OpSum); err != nil {
+			if err := c.AllreduceFloat64(ctx, sums, total, bcast.OpSum); err != nil {
 				return fmt.Errorf("iter %d allreduce: %w", iter, err)
 			}
 
@@ -102,7 +103,7 @@ func main() {
 			local[0] += best
 		}
 		global := make([]float64, 1)
-		if err := collective.AllreduceFloat64(c, local, global, collective.OpSum); err != nil {
+		if err := c.AllreduceFloat64(ctx, local, global, bcast.OpSum); err != nil {
 			return err
 		}
 		if c.Rank() == root {
@@ -134,16 +135,4 @@ func dist2(a, b []float64) float64 {
 		d += diff * diff
 	}
 	return d
-}
-
-func encodeFloats(dst []byte, vals []float64) {
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
-	}
-}
-
-func decodeFloats(b []byte, out []float64) {
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
 }

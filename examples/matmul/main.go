@@ -12,19 +12,20 @@
 //   - the C row blocks are gathered back on the root and checked against
 //     a serial multiplication.
 //
-//     go run ./examples/matmul
+// Everything moves through the public bcast facade's typed slice
+// helpers — no byte encoding in sight.
+//
+//	go run ./examples/matmul
 package main
 
 import (
-	"encoding/binary"
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
-	"repro/internal/collective"
-	"repro/internal/engine"
-	"repro/internal/mpi"
+	"repro/bcast"
 )
 
 const (
@@ -34,38 +35,40 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	// Deterministic inputs, generated identically on the root only.
 	rng := rand.New(rand.NewSource(7))
 	a := randomMatrix(rng, dim)
 	b := randomMatrix(rng, dim)
 	want := multiply(a, b, dim)
 
-	err := engine.Run(np, func(c mpi.Comm) error {
+	cl, err := bcast.NewCluster(ctx, bcast.Procs(np))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cl.Run(ctx, func(c bcast.Comm) error {
 		rows := dim / np
 
 		// Broadcast B (dim*dim float64s: 512 KiB at dim=256 — a long
 		// message, so this is the algorithm the paper optimizes).
-		bBuf := make([]byte, 8*dim*dim)
+		bLocal := make([]float64, dim*dim)
 		if c.Rank() == root {
-			encodeFloats(bBuf, b)
+			copy(bLocal, b)
 		}
-		if err := collective.BcastScatterRingAllgatherOpt(c, bBuf, root); err != nil {
+		if err := bcast.BcastSlice(ctx, c, bLocal, root,
+			bcast.WithAlgorithm(bcast.RingOpt)); err != nil {
 			return fmt.Errorf("bcast B: %w", err)
 		}
-		bLocal := decodeFloats(bBuf)
 
 		// Scatter A's row blocks.
-		chunk := 8 * rows * dim
-		var aBuf []byte
+		var aAll []float64
 		if c.Rank() == root {
-			aBuf = make([]byte, np*chunk)
-			encodeFloats(aBuf, a)
+			aAll = a
 		}
-		myRows := make([]byte, chunk)
-		if err := collective.Scatter(c, aBuf, chunk, myRows, root); err != nil {
+		aLocal := make([]float64, rows*dim)
+		if err := bcast.ScatterSlice(ctx, c, aAll, aLocal, root); err != nil {
 			return fmt.Errorf("scatter A: %w", err)
 		}
-		aLocal := decodeFloats(myRows)
 
 		// Multiply the local row block.
 		cLocal := make([]float64, rows*dim)
@@ -79,21 +82,18 @@ func main() {
 		}
 
 		// Gather the C row blocks on the root.
-		cBytes := make([]byte, chunk)
-		encodeFloats(cBytes, cLocal)
-		var cAll []byte
+		var cAll []float64
 		if c.Rank() == root {
-			cAll = make([]byte, np*chunk)
+			cAll = make([]float64, dim*dim)
 		}
-		if err := collective.Gather(c, cBytes, chunk, cAll, root); err != nil {
+		if err := bcast.GatherSlice(ctx, c, cLocal, cAll, root); err != nil {
 			return fmt.Errorf("gather C: %w", err)
 		}
 
 		if c.Rank() == root {
-			got := decodeFloats(cAll)
 			var maxErr float64
 			for i := range want {
-				if d := math.Abs(got[i] - want[i]); d > maxErr {
+				if d := math.Abs(cAll[i] - want[i]); d > maxErr {
 					maxErr = d
 				}
 			}
@@ -128,18 +128,4 @@ func multiply(a, b []float64, n int) []float64 {
 		}
 	}
 	return c
-}
-
-func encodeFloats(dst []byte, vals []float64) {
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
-	}
-}
-
-func decodeFloats(b []byte) []float64 {
-	out := make([]float64, len(b)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
-	return out
 }

@@ -1,38 +1,82 @@
 // Osu is an OSU-micro-benchmark-style broadcast bandwidth sweep that
 // compares MPI_Bcast_native and MPI_Bcast_opt side by side on the real
 // engine — the shape (who wins, by how much) mirrors the paper's user-
-// level testing at laptop scale.
+// level testing at laptop scale. It is written entirely against the
+// public bcast facade, following the paper's protocol: synchronize with
+// a barrier, run a fixed iteration count, synchronize again, and report
+// bandwidth from the root's elapsed wall clock.
 //
 //	go run ./examples/osu
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/bench"
+	"repro/bcast"
 )
 
+const (
+	np    = 10 // non-power-of-two, the paper's harder case
+	iters = 50
+	root  = 0
+	mib   = 1 << 20
+)
+
+// measure times iters broadcasts of n bytes with the named algorithm
+// and returns the bandwidth in base-2 MB/s.
+func measure(ctx context.Context, cl *bcast.Cluster, algo string, n int) (float64, error) {
+	var elapsed time.Duration // written by the root, read after Run returns
+	err := cl.Run(ctx, func(c bcast.Comm) error {
+		buf := make([]byte, n)
+		if c.Rank() == root {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		if err := c.Barrier(ctx); err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := c.Bcast(ctx, buf, root, bcast.WithAlgorithm(algo)); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(ctx); err != nil {
+			return err
+		}
+		if c.Rank() == root {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	perIter := elapsed.Seconds() / float64(iters)
+	return float64(n) / perIter / mib, nil
+}
+
 func main() {
-	const (
-		np    = 10 // non-power-of-two, the paper's harder case
-		iters = 50
-	)
+	ctx := context.Background()
+	cl, err := bcast.NewCluster(ctx, bcast.Procs(np))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("# OSU-style bcast sweep, np=%d, %d iterations per size\n", np, iters)
 	fmt.Printf("%-12s %16s %16s %10s\n", "bytes", "native MB/s", "opt MB/s", "speedup")
 	for n := 16 << 10; n <= 4<<20; n <<= 1 {
-		nat, err := bench.MeasureReal(bench.RealConfig{
-			NP: np, Iterations: iters, Variant: bench.Native,
-		}, n)
+		nat, err := measure(ctx, cl, bcast.RingNative, n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := bench.MeasureReal(bench.RealConfig{
-			NP: np, Iterations: iters, Variant: bench.Opt,
-		}, n)
+		opt, err := measure(ctx, cl, bcast.RingOpt, n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-12d %16.2f %16.2f %9.2fx\n", n, nat.MBps, opt.MBps, opt.MBps/nat.MBps)
+		fmt.Printf("%-12d %16.2f %16.2f %9.2fx\n", n, nat, opt, opt/nat)
 	}
 }

@@ -1,33 +1,46 @@
 // Quickstart: run 8 ranks in-process, broadcast a message from rank 0
-// with the paper's tuned algorithm, and verify every rank received it.
+// through the public bcast facade, and verify every rank received it.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/collective"
-	"repro/internal/engine"
-	"repro/internal/mpi"
+	"repro/bcast"
 )
 
 func main() {
-	const np = 8
+	ctx := context.Background()
+	const np, root = 8, 0
 	message := []byte("hello from the tuned scatter-ring-allgather broadcast")
 
-	err := engine.Run(np, func(c mpi.Comm) error {
+	cl, err := bcast.NewCluster(ctx, bcast.Procs(np))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The default dispatch resolves per message size and rank count;
+	// ask the selection path what it would actually run here rather
+	// than guessing.
+	d := cl.Decision(len(message))
+	fmt.Printf("default dispatch for %d bytes over %d ranks: %s", len(message), np, d.Algorithm)
+	if d.SegSize > 0 {
+		fmt.Printf(" (seg %d)", d.SegSize)
+	}
+	fmt.Println()
+
+	err = cl.Run(ctx, func(c bcast.Comm) error {
 		buf := make([]byte, len(message))
-		if c.Rank() == 0 {
+		if c.Rank() == root {
 			copy(buf, message)
 		}
 
-		// BcastOpt dispatches like MPICH3 and uses the paper's
-		// non-enclosed ring on the long-message / medium-npof2 paths;
-		// at this tiny size it picks the binomial tree. Call the tuned
-		// ring directly to see the paper's algorithm itself.
-		if err := collective.BcastScatterRingAllgatherOpt(c, buf, 0); err != nil {
+		// Pin the paper's non-enclosed ring for this call to see the
+		// tuned algorithm itself, whatever the dispatch above picked.
+		if err := c.Bcast(ctx, buf, root, bcast.WithAlgorithm(bcast.RingOpt)); err != nil {
 			return err
 		}
 

@@ -193,20 +193,27 @@ type RealConfig struct {
 }
 
 // bcastFn resolves the broadcast the harness measures: Tuner, then Algo,
-// then the legacy Variant.
+// then the legacy Variant. Tuner- and Algo-driven runs resolve to a
+// collective.Options value and dispatch through collective.Broadcast —
+// the module's one selection path — so the harness measures exactly what
+// a facade caller with the same options would run.
 func (cfg RealConfig) bcastFn() (func(c mpi.Comm, buf []byte, root int) error, error) {
 	switch {
-	case cfg.Tuner != nil:
-		return func(c mpi.Comm, buf []byte, root int) error {
-			return collective.BcastWith(c, buf, root, cfg.Tuner)
-		}, nil
-	case cfg.Algo != "":
-		if _, ok := collective.Lookup(cfg.Algo); !ok {
-			return nil, fmt.Errorf("bench: unknown algorithm %q (registered: %v)", cfg.Algo, collective.Names())
+	case cfg.Tuner != nil, cfg.Algo != "":
+		o := collective.Options{SegSize: cfg.SegSize, Tuner: cfg.Tuner}
+		if cfg.Tuner == nil {
+			o.Algorithm = cfg.Algo
+		} else {
+			// Documented precedence: Tuner beats Algo, and SegSize stays
+			// the pinned-algorithm parameter (tuner decisions keep their
+			// own segment sizes).
+			o.SegSize = 0
 		}
-		d := tune.Decision{Algorithm: cfg.Algo, SegSize: cfg.SegSize}
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
 		return func(c mpi.Comm, buf []byte, root int) error {
-			return collective.RunDecision(c, buf, root, d)
+			return collective.Broadcast(c, buf, root, o)
 		}, nil
 	default:
 		if fn := cfg.Variant.fn(); fn != nil {

@@ -32,15 +32,21 @@
 // whose communication pattern is static — a schedule generator shared
 // with the verifier, the simulator, and the auto-tuner.
 //
-// Selection is delegated to internal/tune: Bcast and BcastOpt are thin
-// calls through BcastWith with the default tune.MPICH3 tuner, which
-// reproduces MPICH3's hardcoded dispatch bit-for-bit (golden-tested
-// against SelectAlgorithm). BcastWith accepts any Tuner — in particular
-// tune.TableTuner, which dispatches through a JSON tuning table derived
-// by tune.AutoTune from measured crossover points. RunDecision executes
-// a single tuner decision after checking it against the registered
-// capabilities, so a mis-keyed table fails loudly instead of hanging a
-// pow2-only algorithm on 129 ranks.
+// Selection is delegated to internal/tune and flows through exactly one
+// path: every entry point resolves its arguments into an Options value
+// (a pinned Algorithm, a SegSize, a Tuner — zero value = stock MPICH3
+// dispatch) and calls Broadcast, which runs Options.Decide to obtain a
+// tune.Decision and hands it to RunDecision. Bcast, BcastOpt and
+// BcastWith are thin wrappers that fill Options; the public bcast facade
+// and the bench harness build the same struct, so "which algorithm runs"
+// has a single answer per (Options, Env) everywhere in the system.
+// tune.MPICH3 reproduces MPICH3's hardcoded dispatch bit-for-bit
+// (golden-tested against SelectAlgorithm), and tune.TableTuner
+// dispatches through a JSON tuning table derived by the auto-tuner from
+// measured crossover points. RunDecision executes a single decision
+// after checking it against the registered capabilities, so a mis-keyed
+// table fails loudly instead of hanging a pow2-only algorithm on 129
+// ranks.
 //
 // New algorithms plug in by calling Register (or MustRegister at init
 // time); the CLI tools (bcastbench, bcastsim, transfercount) enumerate

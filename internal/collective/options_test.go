@@ -1,0 +1,61 @@
+package collective
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tune"
+)
+
+// staticTuner always returns the same decision.
+type staticTuner struct{ d tune.Decision }
+
+func (s staticTuner) Decide(tune.Env) tune.Decision { return s.d }
+
+func TestOptionsDecide(t *testing.T) {
+	long := tune.Env{Bytes: 1 << 20, Procs: 16}
+	cases := []struct {
+		name string
+		o    Options
+		e    tune.Env
+		want tune.Decision
+	}{
+		{"zero value = MPICH3 native", Options{}, long,
+			tune.Decision{Algorithm: tune.RingNative}},
+		{"tuner decides", Options{Tuner: tune.MPICH3{Tuned: true}}, long,
+			tune.Decision{Algorithm: tune.RingOpt}},
+		{"pinned algorithm bypasses tuner",
+			Options{Algorithm: tune.Binomial, Tuner: tune.MPICH3{Tuned: true}}, long,
+			tune.Decision{Algorithm: tune.Binomial}},
+		{"pinned algorithm carries seg size",
+			Options{Algorithm: tune.RingOptSeg, SegSize: 8192}, long,
+			tune.Decision{Algorithm: tune.RingOptSeg, SegSize: 8192}},
+		{"seg size overrides tuner's segment choice",
+			Options{Tuner: staticTuner{tune.Decision{Algorithm: tune.RingSeg, SegSize: 4096}}, SegSize: 1 << 14}, long,
+			tune.Decision{Algorithm: tune.RingSeg, SegSize: 1 << 14}},
+		{"zero seg size keeps tuner's segment choice",
+			Options{Tuner: staticTuner{tune.Decision{Algorithm: tune.RingSeg, SegSize: 4096}}}, long,
+			tune.Decision{Algorithm: tune.RingSeg, SegSize: 4096}},
+	}
+	for _, tc := range cases {
+		if got := tc.o.Decide(tc.e); got != tc.want {
+			t.Errorf("%s: Decide = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options invalid: %v", err)
+	}
+	if err := (Options{Algorithm: tune.RingOpt}).Validate(); err != nil {
+		t.Errorf("registered algorithm invalid: %v", err)
+	}
+	err := Options{Algorithm: "no-such-bcast"}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no-such-bcast") {
+		t.Errorf("unknown algorithm not rejected: %v", err)
+	}
+	if err := (Options{SegSize: -1}).Validate(); err == nil {
+		t.Error("negative segment size not rejected")
+	}
+}

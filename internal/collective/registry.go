@@ -211,6 +211,12 @@ func RunDecision(c mpi.Comm, buf []byte, root int, d tune.Decision) error {
 	if !ok {
 		return fmt.Errorf("collective: unknown algorithm %q (registered: %v)", d.Algorithm, Names())
 	}
+	if d.SegSize < 0 {
+		// The segmented algorithms treat any non-positive segment as
+		// their default; a negative one is a caller bug that must not
+		// silently run with a different pipeline than asked for.
+		return fmt.Errorf("collective: negative segment size %d for %q", d.SegSize, d.Algorithm)
+	}
 	if e := envOf(c, len(buf)); !r.Caps.Match(e) {
 		return fmt.Errorf("collective: algorithm %q cannot run with %d bytes on %d ranks over %d node(s)",
 			d.Algorithm, e.Bytes, e.Procs, e.NumNodes)
@@ -219,13 +225,10 @@ func RunDecision(c mpi.Comm, buf []byte, root int, d tune.Decision) error {
 }
 
 // BcastWith broadcasts buf from root using the algorithm t selects for
-// this communicator and message — the tuner-parameterized entry point
-// behind Bcast and BcastOpt.
+// this communicator and message. It is Broadcast with only the Tuner
+// option set; all selection goes through Options.Decide.
 func BcastWith(c mpi.Comm, buf []byte, root int, t tune.Tuner) error {
-	if err := checkRoot(c, root); err != nil {
-		return err
-	}
-	return RunDecision(c, buf, root, t.Decide(envOf(c, len(buf))))
+	return Broadcast(c, buf, root, Options{Tuner: t})
 }
 
 // The built-in broadcast family. Every Bcast* entry point in this package

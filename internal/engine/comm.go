@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -12,6 +13,39 @@ import (
 // tagSplit is the engine-reserved tag for the Split collective handshake.
 const tagSplit = 0x7F10
 
+// cancelSignal carries a bound context's cancellation into the engine's
+// blocking operations. The zero value (nil done channel) never fires —
+// receiving from a nil channel blocks forever, so unbound communicators
+// pay nothing in the selects.
+type cancelSignal struct {
+	done  <-chan struct{}
+	cause func() error // non-nil whenever done is
+}
+
+// fire aborts the world with the context's cause. MPI collectives leave
+// every participant in an undefined state when one rank bails out
+// mid-protocol, so a fired context unwinds the whole world — every
+// blocked operation on every rank returns, no goroutine is left waiting.
+func (cs cancelSignal) fire(w *World) error {
+	w.abort(fmt.Errorf("engine: context canceled: %w", cs.cause()))
+	return w.abortError()
+}
+
+// fired reports (and acts on) an already-canceled context at operation
+// entry, so a rank that never blocks still observes cancellation at its
+// next communication call.
+func (cs cancelSignal) fired(w *World) error {
+	if cs.done == nil {
+		return nil
+	}
+	select {
+	case <-cs.done:
+		return cs.fire(w)
+	default:
+		return nil
+	}
+}
+
 // comm implements mpi.Comm over a World.
 type comm struct {
 	w       *World
@@ -19,9 +53,31 @@ type comm struct {
 	members []int // comm rank -> world rank
 	rank    int   // my comm rank
 	topo    *topology.Map
+	cancel  cancelSignal
 }
 
-var _ mpi.Comm = (*comm)(nil)
+var (
+	_ mpi.Comm      = (*comm)(nil)
+	_ mpi.Contexter = (*comm)(nil)
+)
+
+// WithContext implements mpi.Contexter: it returns a view of this
+// communicator whose blocking operations additionally observe ctx. A
+// fired context aborts the world (see mpi.Contexter for why), so the
+// returned errors wrap both mpi.ErrAborted and the context's cause.
+// Binding is a cheap struct copy; per-call binding is fine.
+func (c *comm) WithContext(ctx context.Context) mpi.Comm {
+	cc := *c
+	if ctx == nil || ctx.Done() == nil {
+		cc.cancel = cancelSignal{}
+		return &cc
+	}
+	cc.cancel = cancelSignal{
+		done:  ctx.Done(),
+		cause: func() error { return context.Cause(ctx) },
+	}
+	return &cc
+}
 
 func (c *comm) Rank() int                { return c.rank }
 func (c *comm) Size() int                { return len(c.members) }
@@ -39,7 +95,7 @@ func (c *comm) Send(buf []byte, to, tag int) error {
 	if to == c.rank {
 		return fmt.Errorf("engine: send: %w: self-send unsupported (deadlocks a blocking rank)", mpi.ErrRank)
 	}
-	return c.w.send(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag, true)
+	return c.w.send(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag, true, c.cancel)
 }
 
 func (c *comm) Recv(buf []byte, from, tag int) (mpi.Status, error) {
@@ -49,7 +105,7 @@ func (c *comm) Recv(buf []byte, from, tag int) (mpi.Status, error) {
 	if err := mpi.CheckTag(tag, true); err != nil {
 		return mpi.Status{}, fmt.Errorf("engine: recv: %w", err)
 	}
-	return c.w.recv(c.ctx, c.worldRank(), buf, from, tag, true)
+	return c.w.recv(c.ctx, c.worldRank(), buf, from, tag, true, c.cancel)
 }
 
 func (c *comm) Sendrecv(sendBuf []byte, to, sendTag int, recvBuf []byte, from, recvTag int) (mpi.Status, error) {
@@ -75,8 +131,8 @@ func (c *comm) Sendrecv(sendBuf []byte, to, sendTag int, recvBuf []byte, from, r
 	// complete against it), start the send, and wait for both. No
 	// goroutine is needed: isend never blocks (large or credit-overflow
 	// payloads are parked as zero-copy envelopes the receiver pulls).
-	rreq := c.w.irecv(c.ctx, c.worldRank(), recvBuf, from, recvTag)
-	sreq := c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), sendBuf, sendTag)
+	rreq := c.w.irecv(c.ctx, c.worldRank(), recvBuf, from, recvTag, c.cancel)
+	sreq := c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), sendBuf, sendTag, c.cancel)
 	_, serr := sreq.Wait()
 	st, rerr := rreq.Wait()
 	if rerr != nil {
@@ -95,7 +151,7 @@ func (c *comm) Isend(buf []byte, to, tag int) (mpi.Request, error) {
 	if to == c.rank {
 		return nil, fmt.Errorf("engine: isend: %w: self-send unsupported", mpi.ErrRank)
 	}
-	return c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag), nil
+	return c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag, c.cancel), nil
 }
 
 func (c *comm) Irecv(buf []byte, from, tag int) (mpi.Request, error) {
@@ -105,7 +161,7 @@ func (c *comm) Irecv(buf []byte, from, tag int) (mpi.Request, error) {
 	if err := mpi.CheckTag(tag, true); err != nil {
 		return nil, fmt.Errorf("engine: irecv: %w", err)
 	}
-	return c.w.irecv(c.ctx, c.worldRank(), buf, from, tag), nil
+	return c.w.irecv(c.ctx, c.worldRank(), buf, from, tag, c.cancel), nil
 }
 
 // Split partitions the communicator by color, ordering each new
@@ -214,7 +270,8 @@ func (c *comm) commFromReply(reply []byte) (mpi.Comm, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: split topology: %w", err)
 	}
-	return &comm{w: c.w, ctx: ctx, members: members, rank: newRank, topo: topo}, nil
+	// The sub-communicator inherits the parent's context binding.
+	return &comm{w: c.w, ctx: ctx, members: members, rank: newRank, topo: topo, cancel: c.cancel}, nil
 }
 
 // encodeInts packs ints as little-endian int64s.

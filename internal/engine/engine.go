@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -167,13 +168,47 @@ func (w *World) abortError() error {
 // every sent message must have been received, which catches mismatched
 // schedules that MPI itself would let leak.
 func (w *World) Run(fn func(mpi.Comm) error) error {
+	return w.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run bound to a context: when ctx is canceled or its
+// deadline expires, the world aborts — every rank's pending communication
+// unblocks with an error wrapping mpi.ErrAborted and the context's cause
+// (errors.Is against context.Canceled / context.DeadlineExceeded works),
+// fn returns on every rank, and RunContext returns with no goroutine left
+// behind. Each rank's Comm carries the context binding, so ranks busy
+// between calls observe cancellation at their next communication call;
+// the watcher below catches them even mid-block.
+func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 	if !w.ran.CompareAndSwap(false, true) {
 		return errors.New("engine: World is single-use; create a new one per Run")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	worldCtx := w.ctxSeq.Add(1)
 	members := make([]int, w.np)
 	for i := range members {
 		members[i] = i
+	}
+	cancel := cancelSignal{}
+	if ctx.Done() != nil {
+		cancel = cancelSignal{
+			done:  ctx.Done(),
+			cause: func() error { return context.Cause(ctx) },
+		}
+		// The watcher turns cancellation into a world abort even while
+		// every rank is blocked; it exits with the run.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.abort(fmt.Errorf("engine: run canceled: %w", context.Cause(ctx)))
+			case <-w.aborted:
+			case <-stop:
+			}
+		}()
 	}
 
 	errs := make([]error, w.np)
@@ -189,7 +224,7 @@ func (w *World) Run(fn func(mpi.Comm) error) error {
 					w.abort(errs[rank])
 				}
 			}()
-			c := &comm{w: w, ctx: worldCtx, members: members, rank: rank, topo: w.topo}
+			c := &comm{w: w, ctx: worldCtx, members: members, rank: rank, topo: w.topo, cancel: cancel}
 			if err := fn(c); err != nil {
 				errs[rank] = fmt.Errorf("engine: rank %d: %w", rank, err)
 				w.abort(errs[rank])

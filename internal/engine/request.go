@@ -11,6 +11,9 @@ type request struct {
 	// trackRank, when >= 0, marks that world rank blocked while Wait
 	// waits (deadlock-detector accounting).
 	trackRank int
+	// cancel is the bound cancellation signal of the communicator that
+	// issued the operation (zero = unbound).
+	cancel cancelSignal
 
 	// Pending completion sources (exactly one is non-nil while pending):
 	recvCh chan recvResult // posted receive
@@ -45,6 +48,8 @@ func (r *request) Wait() (mpi.Status, error) {
 			r.st, r.err = res.st, res.err
 		case <-r.w.aborted:
 			r.st, r.err = mpi.Status{}, r.w.abortError()
+		case <-r.cancel.done:
+			r.st, r.err = mpi.Status{}, r.cancel.fire(r.w)
 		}
 	case r.rdv != nil:
 		select {
@@ -52,6 +57,8 @@ func (r *request) Wait() (mpi.Status, error) {
 			r.st, r.err = mpi.Status{Count: r.sendN}, nil
 		case <-r.w.aborted:
 			r.st, r.err = mpi.Status{}, r.w.abortError()
+		case <-r.cancel.done:
+			r.st, r.err = mpi.Status{}, r.cancel.fire(r.w)
 		}
 	}
 	r.complete = true
@@ -90,11 +97,14 @@ func (r *request) Done() bool {
 // because MPI forbids touching the buffer until the request completes —
 // and the request finishes when the receiver copies it out. Envelopes
 // enter the queue synchronously, preserving non-overtaking order.
-func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int) *request {
+func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, cnl cancelSignal) *request {
 	select {
 	case <-w.aborted:
 		return completedRequest(mpi.Status{}, w.abortError())
 	default:
+	}
+	if err := cnl.fired(w); err != nil {
+		return completedRequest(mpi.Status{}, err)
 	}
 	ep := w.eps[dstWorld]
 	eager := len(buf) <= w.eagerLimit
@@ -135,17 +145,20 @@ func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, ta
 	})
 	ep.mu.Unlock()
 	w.progress.Add(1)
-	return &request{w: w, trackRank: srcWorld, rdv: rdv, sendN: len(buf)}
+	return &request{w: w, trackRank: srcWorld, rdv: rdv, sendN: len(buf), cancel: cnl}
 }
 
 // irecv posts a nonblocking receive. Posting happens synchronously (so a
 // rendezvous sender can match it immediately); the request completes when
 // a matching message is consumed.
-func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int) *request {
+func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int, cnl cancelSignal) *request {
 	select {
 	case <-w.aborted:
 		return completedRequest(mpi.Status{}, w.abortError())
 	default:
+	}
+	if err := cnl.fired(w); err != nil {
+		return completedRequest(mpi.Status{}, err)
 	}
 	ep := w.eps[myWorld]
 	ep.mu.Lock()
@@ -166,5 +179,5 @@ func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int) *request
 	pr := &posted{ctx: ctx, src: src, tag: tag, buf: buf, done: make(chan recvResult, 1)}
 	ep.recvs = append(ep.recvs, pr)
 	ep.mu.Unlock()
-	return &request{w: w, trackRank: myWorld, recvCh: pr.done}
+	return &request{w: w, trackRank: myWorld, recvCh: pr.done, cancel: cnl}
 }

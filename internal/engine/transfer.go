@@ -9,8 +9,9 @@ import (
 // the destination's world rank. track controls whether the sender's rank
 // state is marked blocked while waiting (true for top-level Send on the
 // rank's own goroutine; false for the spawned half of a Sendrecv, whose
-// blocking is accounted by the Sendrecv wrapper).
-func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, track bool) error {
+// blocking is accounted by the Sendrecv wrapper). cnl is the operation's
+// bound cancellation signal (zero = unbound).
+func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, track bool, cnl cancelSignal) error {
 	ep := w.eps[dstWorld]
 	eager := len(buf) <= w.eagerLimit
 
@@ -19,6 +20,9 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 		case <-w.aborted:
 			return w.abortError()
 		default:
+		}
+		if err := cnl.fired(w); err != nil {
+			return err
 		}
 		ep.mu.Lock()
 		if pr := ep.matchPosted(ctx, srcRank, tag); pr != nil {
@@ -74,6 +78,11 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 				w.state[srcWorld].Store(0)
 			}
 			return w.abortError()
+		case <-cnl.done:
+			if track {
+				w.state[srcWorld].Store(0)
+			}
+			return cnl.fire(w)
 		}
 		if track {
 			w.state[srcWorld].Store(0)
@@ -98,6 +107,8 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 		return nil
 	case <-w.aborted:
 		return w.abortError()
+	case <-cnl.done:
+		return cnl.fire(w)
 	}
 }
 
@@ -105,8 +116,8 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 // myWorld: an irecv followed by an immediate Wait. src and tag may be
 // wildcards. track marks the rank blocked while waiting (top-level
 // receives on the rank's goroutine).
-func (w *World) recv(ctx int64, myWorld int, buf []byte, src, tag int, track bool) (mpi.Status, error) {
-	r := w.irecv(ctx, myWorld, buf, src, tag)
+func (w *World) recv(ctx int64, myWorld int, buf []byte, src, tag int, track bool, cnl cancelSignal) (mpi.Status, error) {
+	r := w.irecv(ctx, myWorld, buf, src, tag, cnl)
 	if !track {
 		r.trackRank = -1
 	}

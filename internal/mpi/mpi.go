@@ -19,6 +19,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -126,6 +127,31 @@ type Comm interface {
 	// Topology returns the node placement of this communicator's ranks
 	// (indexed by communicator rank).
 	Topology() *topology.Map
+}
+
+// Contexter is the optional capability of communicators that can bind a
+// context.Context to their operations. WithContext returns a view of the
+// same communicator whose blocking calls additionally observe ctx:
+// cancellation or deadline expiry unblocks them promptly. Because a
+// collective left half-finished poisons every participant, a fired
+// context tears the whole world down (all ranks' pending operations
+// return an error wrapping ErrAborted and the context's cause) rather
+// than abandoning one rank's operation in place.
+type Contexter interface {
+	WithContext(ctx context.Context) Comm
+}
+
+// WithContext binds ctx to c when the communicator supports it and
+// returns c unchanged otherwise (including for a nil or never-canceled
+// context, which needs no binding).
+func WithContext(ctx context.Context, c Comm) Comm {
+	if ctx == nil || ctx.Done() == nil {
+		return c
+	}
+	if cc, ok := c.(Contexter); ok {
+		return cc.WithContext(ctx)
+	}
+	return c
 }
 
 // WaitAll waits for every request, returning the statuses and the first

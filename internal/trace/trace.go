@@ -7,6 +7,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -149,6 +150,13 @@ var _ mpi.Comm = (*tracedComm)(nil)
 func (t *tracedComm) Rank() int               { return t.inner.Rank() }
 func (t *tracedComm) Size() int               { return t.inner.Size() }
 func (t *tracedComm) Topology() *topology.Map { return t.inner.Topology() }
+
+// WithContext implements mpi.Contexter by rebinding the wrapped
+// communicator and keeping this rank's recorder, so per-call context
+// binding does not fragment the traffic counts.
+func (t *tracedComm) WithContext(ctx context.Context) mpi.Comm {
+	return &tracedComm{inner: mpi.WithContext(ctx, t.inner), rec: t.rec, col: t.col}
+}
 
 func (t *tracedComm) Send(buf []byte, to, tag int) error {
 	err := t.inner.Send(buf, to, tag)

@@ -29,6 +29,25 @@
 // The executable algorithms live in internal/collective and register
 // themselves into a registry keyed by the names below; internal/collective
 // depends on this package (for Env/Decision/Tuner), never the reverse.
+//
+// # Where selection happens: the facade architecture
+//
+// Tuning is configured at the API boundary and resolved on one path.
+// The public facade (package bcast, the module's importable surface)
+// turns its functional options — a pinned algorithm, a segment size, a
+// custom tuner, a JSON table loaded by bcast.TuneTable — into a
+// collective.Options value; collective.Broadcast derives the Env from
+// the communicator (EnvOf over Comm.Topology()) and calls
+// Options.Decide, which yields exactly one Decision; and
+// collective.RunDecision executes it through the registry after
+// checking capabilities. Bcast, BcastOpt, BcastWith and the bench
+// harness fill the same struct, so "which algorithm runs" has a single
+// answer per (Options, Env) everywhere — the one-selection-path
+// invariant. Nothing below the Options layer hardcodes a choice, and
+// nothing above it re-derives one: a table derived by AutoTuneSweep
+// under a swept placement therefore resolves at run time exactly as it
+// was measured, whether the call came from the facade, a CLI tool, or
+// the measurement subsystem itself.
 package tune
 
 import (
