@@ -8,23 +8,8 @@ import (
 	"time"
 
 	"repro/bcast"
+	"repro/internal/testutil"
 )
-
-// waitGoroutines polls until the goroutine count returns to at most
-// base+slack: a canceled run must not strand rank goroutines.
-func waitGoroutines(t *testing.T, base int) {
-	t.Helper()
-	const slack = 2
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		runtime.GC()
-		if runtime.NumGoroutine() <= base+slack {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("goroutines leaked: %d now, baseline %d", runtime.NumGoroutine(), base)
-}
 
 // TestCancelInFlightBroadcast cancels a broadcast that can never
 // complete (the root withholds its payload by blocking in a receive no
@@ -63,7 +48,7 @@ func TestCancelInFlightBroadcast(t *testing.T) {
 	if elapsed > 3*time.Second {
 		t.Errorf("cancellation took %v, want prompt unwind", elapsed)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestDeadlineAbortsRun checks deadline expiry behaves like
@@ -86,7 +71,7 @@ func TestDeadlineAbortsRun(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("run error does not wrap context.DeadlineExceeded: %v", err)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestBaseContextCancelsRun checks the cluster-level context given to
@@ -114,7 +99,7 @@ func TestBaseContextCancelsRun(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("run error does not wrap context.Canceled from the base context: %v", err)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestRanksSeeCancellationError checks the error each rank's blocked

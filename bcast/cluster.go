@@ -16,6 +16,12 @@ import (
 // so sequential Runs are independent (traffic tracing, when enabled,
 // accumulates across them). A Cluster must not be shared by concurrent
 // Runs.
+//
+// How ranks execute is part of the configuration: by default each rank
+// runs on its own goroutine, and the ExecPooled option switches Runs to
+// a bounded cooperative worker pool — the scalable choice once Procs is
+// well past the host's cores (hundreds of ranks). Executor reports the
+// effective substrate.
 type Cluster struct {
 	base      context.Context
 	np        int
@@ -23,6 +29,8 @@ type Cluster struct {
 	opts      callDefaults
 	eager     int
 	timeout   time.Duration
+	exec      engine.ExecPolicy
+	workers   int
 	collector *trace.Collector
 }
 
@@ -60,6 +68,8 @@ func NewCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
 		opts:    callDefaults{o: cfg.opts},
 		eager:   cfg.eager,
 		timeout: cfg.timeout,
+		exec:    cfg.exec,
+		workers: cfg.workers,
 	}
 	if cfg.traffic {
 		cl.collector = trace.NewCollector()
@@ -76,6 +86,13 @@ func (cl *Cluster) NumNodes() int { return cl.topo.NumNodes() }
 // Placement returns the placement classification: "single", "blocked",
 // "round-robin" or "irregular".
 func (cl *Cluster) Placement() string { return cl.topo.Kind() }
+
+// Executor names the rank-execution substrate each Run boots, worker
+// clamp applied: "goroutine" (the default), or "pooled(N)" when the
+// cluster was built with ExecPooled.
+func (cl *Cluster) Executor() string {
+	return engine.ExecLabel(cl.exec, cl.workers)
+}
 
 // Decision reports which algorithm the cluster's options (overridden by
 // any per-call options) would select for an n-byte broadcast over the
@@ -115,6 +132,8 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 		Topology:   cl.topo,
 		EagerLimit: cl.eager,
 		Timeout:    cl.timeout,
+		Executor:   cl.exec,
+		MaxWorkers: cl.workers,
 	})
 	if err != nil {
 		return fmt.Errorf("bcast: %w", err)

@@ -27,6 +27,13 @@
 // (errors.Is against context.Canceled or context.DeadlineExceeded
 // works), Run returns, and no rank goroutine is left behind.
 //
+// How ranks are scheduled is configurable: the default substrate runs
+// one goroutine per rank, and ExecPooled(workers) switches Runs to a
+// bounded cooperative worker pool — the scalable choice once Procs is
+// well past the host's cores (hundreds of ranks), with identical
+// results, traffic and cancellation semantics. Cluster.Executor reports
+// the effective substrate.
+//
 // # Selection: options in, one Decision out
 //
 // Which broadcast algorithm runs is decided in exactly one place. Cluster

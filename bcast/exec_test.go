@@ -1,0 +1,113 @@
+package bcast_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/bcast"
+	"repro/internal/engine"
+	"repro/internal/testutil"
+)
+
+// TestExecPooledBroadcast runs a cluster several times wider than its
+// worker pool through the public facade: the broadcast must deliver
+// identical bytes everywhere and the cluster must report the pooled
+// substrate.
+func TestExecPooledBroadcast(t *testing.T) {
+	const np = 64
+	cl, err := bcast.NewCluster(context.Background(),
+		bcast.Procs(np),
+		bcast.Placement("blocked:8"),
+		bcast.ExecPooled(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("pooled(%d)", engine.PooledWorkers(2))
+	if got := cl.Executor(); got != want {
+		t.Fatalf("Executor() = %q, want %q", got, want)
+	}
+	ctx := context.Background()
+	err = cl.Run(ctx, func(c bcast.Comm) error {
+		buf := make([]int32, 1024)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = int32(i * 3)
+			}
+		}
+		if err := bcast.BcastSlice(ctx, c, buf, 0); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			if v != int32(i*3) {
+				return fmt.Errorf("rank %d: buf[%d] = %d, want %d", c.Rank(), i, v, i*3)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecPooledRejectsNegative: a bad worker count must fail cluster
+// construction, not a broadcast deep in a run.
+func TestExecPooledRejectsNegative(t *testing.T) {
+	if _, err := bcast.NewCluster(context.Background(), bcast.Procs(4), bcast.ExecPooled(-1)); err == nil {
+		t.Fatal("ExecPooled(-1) accepted")
+	}
+}
+
+// TestExecDefaultIsGoroutine pins the default substrate's label.
+func TestExecDefaultIsGoroutine(t *testing.T) {
+	cl, err := bcast.NewCluster(context.Background(), bcast.Procs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Executor(); got != "goroutine" {
+		t.Fatalf("default Executor() = %q, want goroutine", got)
+	}
+}
+
+// TestCancelPooledRun: the facade's collective-cancellation contract —
+// prompt unwind, cause attached, goroutine count back at baseline —
+// must hold identically on the pooled substrate.
+func TestCancelPooledRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cl, err := bcast.NewCluster(context.Background(),
+		bcast.Procs(32),
+		bcast.ExecPooled(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = cl.Run(ctx, func(c bcast.Comm) error {
+		if c.Rank() == 0 {
+			// The root withholds the payload: every other rank parks
+			// inside Bcast until cancellation unwinds the world.
+			_, err := c.Recv(ctx, make([]byte, 1), bcast.AnySource, 7)
+			return err
+		}
+		return c.Bcast(ctx, make([]byte, 1<<20), 0)
+	})
+	if err == nil {
+		t.Fatal("canceled pooled run returned nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("run error does not wrap context.Canceled: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("pooled cancellation took %v, want prompt unwind", elapsed)
+	}
+	testutil.WaitGoroutines(t, base)
+}

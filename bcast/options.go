@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/collective"
+	"repro/internal/engine"
 	"repro/internal/topology"
 	"repro/internal/tune"
 )
@@ -20,6 +21,8 @@ type config struct {
 	eager     int
 	timeout   time.Duration
 	traffic   bool
+	exec      engine.ExecPolicy
+	workers   int
 }
 
 // Option configures a Cluster. Options are applied in order by
@@ -154,6 +157,27 @@ func Timeout(d time.Duration) Option {
 			return fmt.Errorf("bcast: negative timeout %v", d)
 		}
 		c.timeout = d
+		return nil
+	}
+}
+
+// ExecPooled runs each Run's ranks on a bounded cooperative worker pool
+// instead of the default one-goroutine-per-rank substrate: a rank is
+// runnable only while it holds one of min(GOMAXPROCS, workers) slots and
+// parks (slot released) whenever it blocks in a collective or
+// point-to-point call. Use it when Procs is well past the host's core
+// count — wall-clock behavior then reflects the communication schedule
+// rather than OS-scheduler noise, and clusters with hundreds of ranks
+// stay practical. workers 0 means GOMAXPROCS, which is the right choice
+// unless the host is shared; negative is rejected. Cancellation
+// semantics are identical across substrates.
+func ExecPooled(workers int) Option {
+	return func(c *config) error {
+		if workers < 0 {
+			return fmt.Errorf("bcast: negative worker count %d (0 = GOMAXPROCS)", workers)
+		}
+		c.exec = engine.Pooled
+		c.workers = workers
 		return nil
 	}
 }

@@ -484,3 +484,55 @@ func BenchmarkExtensionSMPBcast(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------
+// Executor substrate comparison. One full world lifecycle per iteration
+// — boot, barrier-free single broadcast, teardown — at np well past
+// GOMAXPROCS, for both rank-execution substrates. This is the perf
+// trajectory behind the pooled cooperative scheduler: run it with
+//
+//	go test -bench=BenchmarkExecutorWorldBcast -benchmem .
+//
+// and compare against BENCH_pooled_vs_goroutine.json (the recorded
+// baseline of the refactor that introduced the executor layer).
+// ---------------------------------------------------------------------
+
+func BenchmarkExecutorWorldBcast(b *testing.B) {
+	execs := []struct {
+		name   string
+		policy engine.ExecPolicy
+	}{
+		{"goroutine", engine.Goroutine},
+		{"pooled", engine.Pooled},
+	}
+	for _, np := range []int{64, 256} {
+		for _, ex := range execs {
+			b.Run(fmt.Sprintf("exec=%s/np=%d", ex.name, np), func(b *testing.B) {
+				topo := topology.Blocked(np, 32)
+				n := 64 * np
+				src := make([]byte, n)
+				for i := range src {
+					src[i] = byte(i)
+				}
+				b.SetBytes(int64(n))
+				for i := 0; i < b.N; i++ {
+					err := engine.RunWith(engine.Options{
+						NP:       np,
+						Topology: topo,
+						Executor: ex.policy,
+						Timeout:  5 * time.Minute,
+					}, func(c mpi.Comm) error {
+						buf := make([]byte, n)
+						if c.Rank() == 0 {
+							copy(buf, src)
+						}
+						return collective.BcastScatterRingAllgatherOpt(c, buf, 0)
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,16 @@
 // grid and reports the cells where the model and the wall clock disagree
 // on the winner. -samples writes every raw repetition sample as JSON so
 // runs are reproducible and diffable.
+//
+// -exec selects the engine's rank-execution substrate in every mode:
+// the default "goroutine" runs one OS-scheduled goroutine per rank,
+// "pooled" multiplexes ranks onto a bounded cooperative worker pool
+// (-workers, clamped to GOMAXPROCS) — the substrate that keeps -np in
+// the hundreds measurable:
+//
+//	bcastbench -exec pooled -np 256 -autotune -placements blocked:32
+//
+// Every table and report records the substrate in its provenance.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/collective"
+	"repro/internal/engine"
 	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/tune"
@@ -62,6 +73,8 @@ func main() {
 		coresFlag = flag.Int("cores", 0, "cores per node for blocked placement (0 = single node; benchmark mode only — tuning modes use -placements)")
 		eagerFlag = flag.Int("eager", 0, "eager limit override in bytes (0 = default, -1 = rendezvous only)")
 		rootFlag  = flag.Int("root", 0, "broadcast root")
+		execFlag  = flag.String("exec", "goroutine", "rank-execution substrate: goroutine (one goroutine per rank) | pooled (bounded cooperative worker pool; use for -np in the hundreds)")
+		workFlag  = flag.Int("workers", 0, "pooled executor worker count, clamped to GOMAXPROCS (0 = GOMAXPROCS; requires -exec pooled)")
 
 		autotuneFlag = flag.Bool("autotune", false, "auto-tune over the registry on the real engine and emit a JSON tuning table")
 		crossFlag    = flag.Bool("crosscheck", false, "derive tables from both netsim and the engine over the same grid and report per-cell agreement")
@@ -88,6 +101,22 @@ func main() {
 	nps, err := parseInts(*npFlag)
 	if err != nil || len(nps) == 0 {
 		fmt.Fprintf(os.Stderr, "bcastbench: bad -np %q\n", *npFlag)
+		os.Exit(2)
+	}
+	// -exec/-workers apply to every engine boot, so unlike the
+	// mode-specific knobs below they are valid in both benchmark and
+	// tuning mode.
+	execPol, err := engine.ParseExecPolicy(*execFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
+		os.Exit(2)
+	}
+	if *workFlag < 0 {
+		fmt.Fprintf(os.Stderr, "bcastbench: -workers must be non-negative, got %d (0 = GOMAXPROCS)\n", *workFlag)
+		os.Exit(2)
+	}
+	if *workFlag != 0 && execPol != engine.Pooled {
+		fmt.Fprintln(os.Stderr, "bcastbench: -workers requires -exec pooled (the goroutine substrate has no pool to size)")
 		os.Exit(2)
 	}
 	if *minFlag < 0 || *maxFlag < *minFlag {
@@ -173,6 +202,7 @@ func main() {
 			segs: *segsFlag, placements: *placeFlag, candSet: *candFlag,
 			reps: *repsFlag, warmup: warmup, stat: *statFlag,
 			root: *rootFlag, eager: *eagerFlag, model: *modelFlag,
+			exec: execPol, workers: *workFlag,
 			crosscheck: *crossFlag, outPath: *outFlag, samplesPath: *samplesFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
@@ -187,6 +217,8 @@ func main() {
 		Iterations:   *itersFlag,
 		Root:         *rootFlag,
 		SegSize:      *segFlag,
+		Executor:     execPol,
+		MaxWorkers:   *workFlag,
 	}
 	label := *algoFlag
 	switch {
@@ -212,7 +244,7 @@ func main() {
 	}
 	for _, np := range nps {
 		cfg.NP = np
-		fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d\n", label, np, *itersFlag)
+		fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d, exec=%s\n", label, np, *itersFlag, cfg.ExecLabel())
 		fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
 		for n := *minFlag; n <= *maxFlag; n *= 2 {
 			res, err := bench.MeasureReal(cfg, n)
@@ -238,6 +270,8 @@ type tuningOpts struct {
 	stat         string
 	root, eager  int
 	model        string
+	exec         engine.ExecPolicy
+	workers      int
 	crosscheck   bool
 	outPath      string
 	samplesPath  string
@@ -287,6 +321,8 @@ func runTuning(procs []int, o tuningOpts) error {
 		Root:       o.root,
 		EagerLimit: o.eager,
 		Stat:       stat,
+		Executor:   o.exec,
+		MaxWorkers: o.workers,
 	}
 	if o.samplesPath != "" {
 		eng.Log = log

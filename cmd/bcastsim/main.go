@@ -55,8 +55,19 @@ func main() {
 		candFlag     = flag.String("candidates", "all", "auto-tune candidate set: all (whole registry) | mpich (the dispatcher's own family) | list (print both sets with capability flags and exit)")
 		tableFlag    = flag.String("tune-table", "", "JSON tuning table: report tuned-vs-native dispatch on the model")
 		outFlag      = flag.String("o", "", "write -autotune output to this file instead of stdout")
+		execFlag     = flag.String("exec", "", "engine-only (bcastbench): rank-execution substrate")
+		workFlag     = flag.Int("workers", 0, "engine-only (bcastbench): pooled executor worker count")
 	)
 	flag.Parse()
+
+	// Cross-tool strictness, symmetric with bcastbench's cross-mode
+	// checks: the simulator replays schedules in virtual time and has no
+	// rank-execution substrate, so accepting the engine's -exec/-workers
+	// here would claim a measurement that never happened.
+	if *execFlag != "" || *workFlag != 0 {
+		fmt.Fprintln(os.Stderr, "bcastsim: -exec/-workers select the real engine's execution substrate; they are bcastbench flags")
+		os.Exit(2)
+	}
 
 	if *candFlag == "list" {
 		printCandidates()

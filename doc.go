@@ -49,13 +49,26 @@
 // Measurement itself has two interchangeable substrates behind the
 // tune.Measurer seam: the netsim virtual-time model, and internal/measure
 // — the wall-clock subsystem that boots an engine.World per placement and
-// times the registered implementations goroutine-per-rank between
-// barriers, reducing warmed-up repetitions with robust statistics
-// (min/median/MAD-trimmed mean) and persisting raw samples as JSON. The
-// real-engine auto-tuner (bcastbench -autotune) derives tables from those
-// wall-clock runs, and bench.CrossCheck (bcastbench -crosscheck) derives
-// one table from each substrate over the same grid and reports the cells
-// where the cost model and the wall clock disagree on the winner.
+// times the registered implementations between barriers, reducing
+// warmed-up repetitions with robust statistics (min/median/MAD-trimmed
+// mean) and persisting raw samples as JSON. The real-engine auto-tuner
+// (bcastbench -autotune) derives tables from those wall-clock runs, and
+// bench.CrossCheck (bcastbench -crosscheck) derives one table from each
+// substrate over the same grid and reports the cells where the cost model
+// and the wall clock disagree on the winner.
+//
+// How ranks execute inside the engine is itself a pluggable layer
+// (engine.Executor): the default substrate runs one goroutine per rank,
+// and the pooled substrate (engine.Options.Executor = engine.Pooled,
+// bcast.ExecPooled, bcastbench -exec pooled) multiplexes ranks
+// cooperatively onto min(GOMAXPROCS, MaxWorkers) workers — ranks park at
+// the engine's blocking points and release their execution slot, so
+// worlds with np in the hundreds (the paper's Figures 5/7 regime) run
+// with a bounded runnable set and wall-clock grids stay meaningful. The
+// executor-parity grid test asserts both substrates produce
+// byte-identical buffers and identical traced traffic for every
+// registered algorithm, and every table or sample log records which
+// substrate measured it.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; run them with

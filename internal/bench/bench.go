@@ -190,6 +190,17 @@ type RealConfig struct {
 	// broadcast dispatches through it (table-driven or default MPICH3
 	// selection).
 	Tuner tune.Tuner
+	// Executor selects the engine's rank-execution substrate and
+	// MaxWorkers bounds the pooled executor's worker count — see
+	// engine.Options.
+	Executor   engine.ExecPolicy
+	MaxWorkers int
+}
+
+// ExecLabel names the configured rank-execution substrate for the
+// benchmark's provenance line, worker clamp applied.
+func (cfg RealConfig) ExecLabel() string {
+	return engine.ExecLabel(cfg.Executor, cfg.MaxWorkers)
 }
 
 // bcastFn resolves the broadcast the harness measures: Tuner, then Algo,
@@ -247,6 +258,8 @@ func MeasureReal(cfg RealConfig, n int) (Result, error) {
 		Topology:   cfg.topology(),
 		EagerLimit: cfg.EagerLimit,
 		Timeout:    10 * time.Minute,
+		Executor:   cfg.Executor,
+		MaxWorkers: cfg.MaxWorkers,
 	}, func(c mpi.Comm) error {
 		buf := make([]byte, n)
 		if c.Rank() == cfg.Root {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/measure"
 	"repro/internal/topology"
 	"repro/internal/tune"
@@ -80,8 +81,29 @@ func TestAutoTuneEngineDescribesProtocol(t *testing.T) {
 		t.Fatalf("got %d winners, want 1", len(winners))
 	}
 	if !strings.Contains(table.Description, "real engine") ||
+		!strings.Contains(table.Description, "exec goroutine") ||
 		!strings.Contains(table.Description, "reps 2") ||
 		!strings.Contains(table.Description, "stat min") {
 		t.Errorf("description %q lacks engine provenance", table.Description)
+	}
+}
+
+// TestAutoTuneEngineDescribesExecutor: a pooled-substrate sweep must
+// record the pool (with its clamped worker count) in the emitted table's
+// provenance — tables from different substrates are different artifacts.
+func TestAutoTuneEngineDescribesExecutor(t *testing.T) {
+	eng := measure.EngineMeasurer{
+		Warmup: 1, Reps: 2, Stat: measure.StatMin,
+		Executor: engine.Pooled, MaxWorkers: 1,
+	}
+	table, _, err := AutoTuneEngine(eng, FamilyCandidates(), tune.SweepConfig{
+		Procs: []int{4},
+		Sizes: []int{1 << 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.Description, "exec pooled(1)") {
+		t.Errorf("description %q lacks pooled-executor provenance", table.Description)
 	}
 }

@@ -8,24 +8,8 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/testutil"
 )
-
-// waitGoroutines polls until the goroutine count drops back to at most
-// base+slack, failing the test if it never does. The engine must not
-// leak rank or watcher goroutines after an aborted run.
-func waitGoroutines(t *testing.T, base int) {
-	t.Helper()
-	const slack = 2
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		runtime.GC()
-		if runtime.NumGoroutine() <= base+slack {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("goroutines leaked: %d now, baseline %d", runtime.NumGoroutine(), base)
-}
 
 // TestRunContextCancelUnblocksRecv cancels a run while every rank is
 // blocked in a receive that will never be matched. All ranks must
@@ -58,7 +42,7 @@ func TestRunContextCancelUnblocksRecv(t *testing.T) {
 	if elapsed > 3*time.Second {
 		t.Errorf("cancellation took %v; want prompt unblock", elapsed)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestRunContextDeadlineUnblocksSend forces rendezvous for every message
@@ -87,7 +71,7 @@ func TestRunContextDeadlineUnblocksSend(t *testing.T) {
 	if !errors.Is(sendErr, mpi.ErrAborted) || !errors.Is(sendErr, context.DeadlineExceeded) {
 		t.Errorf("blocked send error does not wrap mpi.ErrAborted and the cause: %v", sendErr)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestWithContextPerOperation binds a context to a single operation via
@@ -118,7 +102,7 @@ func TestWithContextPerOperation(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("error does not wrap context.Canceled: %v", err)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestRunContextCleanFinish checks that a context-bound run that
@@ -147,7 +131,7 @@ func TestRunContextCleanFinish(t *testing.T) {
 	if err != nil {
 		t.Fatalf("clean context-bound run failed: %v", err)
 	}
-	waitGoroutines(t, base)
+	testutil.WaitGoroutines(t, base)
 }
 
 // TestRunContextPreCanceled starts a run whose context is already dead;

@@ -1,11 +1,22 @@
-// Package engine is the in-process MPI-like runtime: it executes one
-// goroutine per rank and provides blocking point-to-point messaging with
-// MPI matching semantics ((context, source, tag) with wildcards, pairwise
-// non-overtaking order), an eager protocol for small messages (payload
-// copied into the receiver's unexpected queue) and a rendezvous protocol
-// for large ones (sender blocks until the receiver copies directly from
-// the sender's buffer — the single-copy large-transfer path the paper's
-// platforms use for the message sizes under study).
+// Package engine is the in-process MPI-like runtime: it executes NP rank
+// bodies over a pluggable execution substrate (see Executor) and provides
+// blocking point-to-point messaging with MPI matching semantics
+// ((context, source, tag) with wildcards, pairwise non-overtaking order),
+// an eager protocol for small messages (payload copied into the
+// receiver's unexpected queue) and a rendezvous protocol for large ones
+// (sender blocks until the receiver copies directly from the sender's
+// buffer — the single-copy large-transfer path the paper's platforms use
+// for the message sizes under study).
+//
+// How ranks run is a layer of its own: the default GoroutineExecutor
+// gives every rank an OS-scheduled goroutine, while the PooledExecutor
+// (Options.Executor = Pooled) multiplexes ranks cooperatively onto a
+// bounded worker pool — the engine owns every blocking point, so a rank
+// parks (releasing its execution slot) whenever it would block and
+// re-queues when its operation completes. The pool keeps the runnable
+// set within min(GOMAXPROCS, Options.MaxWorkers), which is what makes
+// wall-clock measurement of worlds with np in the hundreds meaningful
+// instead of scheduler noise.
 //
 // The engine substitutes for a real MPI library plus cluster: every
 // algorithm really moves its bytes through shared memory, so correctness
@@ -61,6 +72,15 @@ type Options struct {
 	// communication call with zero progress before the watchdog declares
 	// deadlock. Zero selects 500 ms; negative disables detection.
 	DeadlockAfter time.Duration
+	// Executor selects the rank-execution substrate (default Goroutine:
+	// one OS-scheduled goroutine per rank). Pooled runs ranks over a
+	// bounded cooperative worker pool — see ExecPolicy.
+	Executor ExecPolicy
+	// MaxWorkers bounds the Pooled executor's concurrency: the pool runs
+	// min(GOMAXPROCS, MaxWorkers) slots. Zero selects GOMAXPROCS;
+	// negative is rejected, and any non-zero value is rejected with the
+	// Goroutine executor (nothing would honor it).
+	MaxWorkers int
 }
 
 // World is a fixed-size group of ranks with message endpoints. A World is
@@ -72,6 +92,8 @@ type World struct {
 	eagerCredits int // 0 = unlimited
 	timeout      time.Duration
 	deadlock     time.Duration
+
+	exec Executor
 
 	eps    []*endpoint
 	ctxSeq atomic.Int64
@@ -120,7 +142,12 @@ func NewWorld(opts Options) (*World, error) {
 	if dl == 0 {
 		dl = 500 * time.Millisecond
 	}
+	exec, err := newExecutor(opts.Executor, opts.MaxWorkers)
+	if err != nil {
+		return nil, err
+	}
 	w := &World{
+		exec:         exec,
 		np:           opts.NP,
 		topo:         topo,
 		eagerLimit:   eager,
@@ -146,6 +173,10 @@ func (w *World) Topology() *topology.Map { return w.topo }
 // EagerLimit returns the effective eager/rendezvous threshold (-1 when
 // rendezvous is forced).
 func (w *World) EagerLimit() int { return w.eagerLimit }
+
+// ExecutorName labels the world's rank-execution substrate for
+// provenance ("goroutine", "pooled(8)").
+func (w *World) ExecutorName() string { return w.exec.Name() }
 
 func (w *World) abort(err error) {
 	w.abortOnce.Do(func() {
@@ -212,24 +243,19 @@ func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 	}
 
 	errs := make([]error, w.np)
-	var wg sync.WaitGroup
-	for r := 0; r < w.np; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer w.state[rank].Store(2)
-			defer func() {
-				if rec := recover(); rec != nil {
-					errs[rank] = fmt.Errorf("engine: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
-					w.abort(errs[rank])
-				}
-			}()
-			c := &comm{w: w, ctx: worldCtx, members: members, rank: rank, topo: w.topo, cancel: cancel}
-			if err := fn(c); err != nil {
-				errs[rank] = fmt.Errorf("engine: rank %d: %w", rank, err)
+	body := func(rank int) {
+		defer w.state[rank].Store(2)
+		defer func() {
+			if rec := recover(); rec != nil {
+				errs[rank] = fmt.Errorf("engine: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
 				w.abort(errs[rank])
 			}
-		}(r)
+		}()
+		c := &comm{w: w, ctx: worldCtx, members: members, rank: rank, topo: w.topo, cancel: cancel}
+		if err := fn(c); err != nil {
+			errs[rank] = fmt.Errorf("engine: rank %d: %w", rank, err)
+			w.abort(errs[rank])
+		}
 	}
 
 	watchdogDone := make(chan struct{})
@@ -240,7 +266,7 @@ func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 		w.watchdog(watchdogDone)
 	}()
 
-	wg.Wait()
+	w.exec.Launch(w.np, body)
 	close(watchdogDone)
 	watchdogWG.Wait()
 

@@ -37,9 +37,16 @@ func (r *request) Wait() (mpi.Status, error) {
 	if r.complete {
 		return r.st, r.err
 	}
+	// Poll before parking: an already-delivered result completes without
+	// surrendering the execution slot, so the pooled substrate's hot path
+	// (eager message waiting in the queue) skips a FIFO round-trip
+	// through the pool.
+	if r.Done() {
+		return r.st, r.err
+	}
 	if r.trackRank >= 0 {
-		r.w.state[r.trackRank].Store(1)
-		defer r.w.state[r.trackRank].Store(0)
+		r.w.parkRank(r.trackRank)
+		defer r.w.unparkRank(r.trackRank)
 	}
 	switch {
 	case r.recvCh != nil:

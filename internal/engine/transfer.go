@@ -69,23 +69,21 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 		ep.creditWait[srcWorld] = wait
 		ep.mu.Unlock()
 		if track {
-			w.state[srcWorld].Store(1)
+			w.parkRank(srcWorld)
 		}
+		var werr error
 		select {
 		case <-wait:
 		case <-w.aborted:
-			if track {
-				w.state[srcWorld].Store(0)
-			}
-			return w.abortError()
+			werr = w.abortError()
 		case <-cnl.done:
-			if track {
-				w.state[srcWorld].Store(0)
-			}
-			return cnl.fire(w)
+			werr = cnl.fire(w)
 		}
 		if track {
-			w.state[srcWorld].Store(0)
+			w.unparkRank(srcWorld)
+		}
+		if werr != nil {
+			return werr
 		}
 	}
 
@@ -99,8 +97,8 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 	w.progress.Add(1)
 
 	if track {
-		w.state[srcWorld].Store(1)
-		defer w.state[srcWorld].Store(0)
+		w.parkRank(srcWorld)
+		defer w.unparkRank(srcWorld)
 	}
 	select {
 	case <-rdv.done:

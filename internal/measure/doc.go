@@ -9,11 +9,14 @@
 //
 //   - EngineMeasurer implements tune.Measurer: per measurement it boots
 //     one engine.World whose topology realizes a tune.Placement, runs the
-//     named broadcast goroutine-per-rank with barrier-synchronized timing
-//     (every repetition starts from a barrier; the sample is the slowest
-//     rank's completion), discards warmup iterations, and reduces the
-//     repetition samples with a robust statistic. It plugs straight into
-//     tune.AutoTune and tune.AutoTuneSweep's measurer-factory seam.
+//     named broadcast on the configured rank-execution substrate (the
+//     Executor/MaxWorkers fields select the engine's goroutine-per-rank
+//     default or the pooled cooperative scheduler — the latter is what
+//     keeps np-in-the-hundreds grids measurable) with barrier-synchronized
+//     timing (every repetition starts from a barrier; the sample is the
+//     slowest rank's completion), discards warmup iterations, and reduces
+//     the repetition samples with a robust statistic. It plugs straight
+//     into tune.AutoTune and tune.AutoTuneSweep's measurer-factory seam.
 //   - Summarize is the deterministic statistics kernel: min, max, mean,
 //     median, and a trimmed mean after MAD-based outlier rejection. Stat
 //     selects which of those a measurement reports to the tuner.

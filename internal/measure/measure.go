@@ -27,10 +27,11 @@ const (
 // EngineMeasurer measures candidates by executing them on the real
 // in-process engine (internal/engine): every Measure call boots a fresh
 // engine.World whose topology realizes Place, runs the candidate's
-// registered implementation goroutine-per-rank, and times repetitions
-// between barriers. It implements tune.Measurer, so it plugs directly
-// into tune.AutoTune and — via a factory closing over Place — into
-// tune.AutoTuneSweep's placement sweep.
+// registered implementation on the configured rank-execution substrate
+// (Executor/MaxWorkers), and times repetitions between barriers. It
+// implements tune.Measurer, so it plugs directly into tune.AutoTune and
+// — via a factory closing over Place — into tune.AutoTuneSweep's
+// placement sweep.
 //
 // Unlike tune.SimMeasurer this measures wall-clock time on the host
 // actually running the broadcast, so results are machine-dependent and
@@ -56,6 +57,14 @@ type EngineMeasurer struct {
 	// Timeout bounds one measurement's wall-clock (default
 	// DefaultTimeout).
 	Timeout time.Duration
+	// Executor selects the engine's rank-execution substrate (default
+	// engine.Goroutine). engine.Pooled bounds the runnable ranks to a
+	// cooperative worker pool, which is what keeps large-np grids (p in
+	// the hundreds) measurable instead of OS-scheduler noise.
+	Executor engine.ExecPolicy
+	// MaxWorkers bounds the pooled executor's worker count
+	// (0 = GOMAXPROCS; pooled executor only).
+	MaxWorkers int
 	// Log, when non-nil, receives the raw samples of every measurement.
 	Log *SampleLog
 }
@@ -68,6 +77,13 @@ type EngineMeasurer struct {
 func (m EngineMeasurer) Protocol() (warmup, reps int, stat Stat) {
 	m = m.fill()
 	return m.Warmup, m.Reps, statOrDefault(m.Stat)
+}
+
+// ExecLabel names the effective rank-execution substrate a Measure call
+// will boot, worker clamp applied ("goroutine", "pooled(8)") — the
+// executor half of the provenance Protocol covers.
+func (m EngineMeasurer) ExecLabel() string {
+	return engine.ExecLabel(m.Executor, m.MaxWorkers)
 }
 
 func (m EngineMeasurer) fill() EngineMeasurer {
@@ -141,6 +157,7 @@ func (m EngineMeasurer) Measure(c tune.Candidate, p, n int) (float64, error) {
 			Warmup:    m.Warmup,
 			Reps:      m.Reps,
 			Stat:      string(stat),
+			Exec:      m.ExecLabel(),
 			Seconds:   sec,
 			Samples:   samples,
 			Summary:   sum,
@@ -189,6 +206,8 @@ func (m EngineMeasurer) run(d tune.Decision, p, n int) ([]float64, error) {
 		Topology:   topo,
 		EagerLimit: m.EagerLimit,
 		Timeout:    m.Timeout,
+		Executor:   m.Executor,
+		MaxWorkers: m.MaxWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,10 +1,12 @@
 package measure
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/collective"
+	"repro/internal/engine"
 	"repro/internal/topology"
 	"repro/internal/tune"
 )
@@ -210,5 +212,48 @@ func TestAutoTuneOnEngineMeasuresScheduleless(t *testing.T) {
 	}
 	if winners[0].Seconds <= 0 {
 		t.Errorf("non-positive smp timing %v", winners[0].Seconds)
+	}
+}
+
+// TestEngineMeasurerPooledExecutor measures on the pooled substrate:
+// the measurement must succeed with more ranks than workers, and the
+// sample log must record which substrate produced each sample.
+func TestEngineMeasurerPooledExecutor(t *testing.T) {
+	log := &SampleLog{}
+	m := EngineMeasurer{
+		Warmup: 1, Reps: 2, Stat: StatMin,
+		Executor: engine.Pooled, MaxWorkers: 2,
+		Log: log,
+	}
+	// The pool is clamped to GOMAXPROCS, so derive the label, don't pin it.
+	want := fmt.Sprintf("pooled(%d)", engine.PooledWorkers(2))
+	if got := m.ExecLabel(); got != want {
+		t.Fatalf("ExecLabel = %q, want %s", got, want)
+	}
+	sec, err := m.Measure(cand(tune.RingOpt, 0), 16, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatalf("non-positive pooled timing %v", sec)
+	}
+	recs := log.Records()
+	if len(recs) != 1 || recs[0].Exec != want {
+		t.Fatalf("sample log records %+v lack pooled provenance", recs)
+	}
+
+	// The default substrate must label itself too.
+	d := EngineMeasurer{}
+	if got := d.ExecLabel(); got != "goroutine" {
+		t.Fatalf("default ExecLabel = %q, want goroutine", got)
+	}
+}
+
+// TestEngineMeasurerRejectsBadWorkers: a negative worker bound must fail
+// the measurement loudly, not fall back to a different substrate.
+func TestEngineMeasurerRejectsBadWorkers(t *testing.T) {
+	m := EngineMeasurer{Executor: engine.Pooled, MaxWorkers: -3}
+	if _, err := m.Measure(cand(tune.RingOpt, 0), 4, 1<<10); err == nil {
+		t.Fatal("negative MaxWorkers measured successfully")
 	}
 }

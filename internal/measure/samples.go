@@ -28,6 +28,10 @@ type Record struct {
 	// value — the number the winner selection saw.
 	Stat    string  `json:"stat"`
 	Seconds float64 `json:"seconds"`
+	// Exec names the rank-execution substrate the world ran on
+	// ("goroutine", "pooled(8)") — samples from different substrates are
+	// not comparable, so the log must say which produced each record.
+	Exec string `json:"exec,omitempty"`
 	// Samples are the per-repetition times (slowest rank per repetition).
 	Samples []float64 `json:"samples_sec"`
 	// Summary is the robust digest of Samples.

@@ -7,7 +7,8 @@
 // matching and wildcards, combined Sendrecv with concurrent halves, and
 // communicator Split. Two engines implement the interface:
 //
-//   - internal/engine: a real in-process runtime (one goroutine per rank,
+//   - internal/engine: a real in-process runtime (pluggable rank
+//     execution — goroutine-per-rank or a pooled cooperative scheduler —
 //     eager and rendezvous protocols, real buffer copies) used for
 //     correctness tests, user-level wall-clock benchmarks and the
 //     examples;

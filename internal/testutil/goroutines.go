@@ -1,0 +1,28 @@
+// Package testutil holds small helpers shared by the module's test
+// suites. It is imported only from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitGoroutines polls until the process goroutine count drops back to
+// at most base+2, failing t if it never does within five seconds. Every
+// abort/cancellation test asserts through it that a torn-down world
+// leaks no rank, watcher or worker goroutine; the slack absorbs the test
+// runtime's own background goroutines.
+func WaitGoroutines(t testing.TB, base int) {
+	t.Helper()
+	const slack = 2
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+slack {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now, baseline %d", runtime.NumGoroutine(), base)
+}

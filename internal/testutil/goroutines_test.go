@@ -1,0 +1,16 @@
+package testutil
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestWaitGoroutinesSettles: after a transient goroutine exits, the
+// helper must observe the count back at baseline and return.
+func TestWaitGoroutinesSettles(t *testing.T) {
+	base := runtime.NumGoroutine()
+	done := make(chan struct{})
+	go func() { <-done }()
+	close(done)
+	WaitGoroutines(t, base)
+}
