@@ -11,11 +11,22 @@ import (
 	"repro/internal/tune"
 )
 
-// Cluster is a configured group of ranks. It is reusable: every Run
-// boots a fresh engine world with the cluster's placement and options,
-// so sequential Runs are independent (traffic tracing, when enabled,
-// accumulates across them). A Cluster must not be shared by concurrent
-// Runs.
+// Cluster is a configured group of ranks. It is reusable, and reuse is
+// cheap: the first Run boots an engine world with the cluster's
+// placement and options, and every subsequent Run re-launches rank
+// bodies onto that same booted world — endpoints, executor and per-rank
+// state are paid once, so the steady state of a long-lived cluster
+// allocates per broadcast, not per boot (see BENCH_steadystate_allocs
+// .json for the measured difference). Sequential Runs remain
+// independent: each gets fresh rank functions and communicators, and
+// traffic tracing, when enabled, accumulates across them in place.
+//
+// The fallback: a Run that returns an error of any kind — a rank
+// failure, cancellation of either context, a timeout, a deadlock —
+// leaves the world spent, and the next Run transparently boots a fresh
+// one. Boots reports how many worlds the cluster has booted, so tests
+// (and capacity planning) can observe the reuse. A Cluster must not be
+// shared by concurrent Runs.
 //
 // How ranks execute is part of the configuration: by default each rank
 // runs on its own goroutine, and the ExecPooled option switches Runs to
@@ -32,6 +43,11 @@ type Cluster struct {
 	exec      engine.ExecPolicy
 	workers   int
 	collector *trace.Collector
+
+	// world is the booted engine world Runs reuse; nil (or spent) means
+	// the next Run boots. boots counts world boots for observability.
+	world *engine.World
+	boots int
 }
 
 // NewCluster validates the options and returns a Cluster bound to ctx:
@@ -109,6 +125,10 @@ func (cl *Cluster) Decision(n int, opts ...CallOption) Decision {
 // blocked operation on every rank then returns an error wrapping the
 // cause, and Run returns with no rank goroutine left behind. The Comm
 // passed to fn is only valid during the call.
+//
+// The first Run boots an engine world; clean Runs reuse it, and a Run
+// that returns an error retires it so the next Run boots a fresh one
+// (see the Cluster documentation for the reuse contract).
 func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 	if fn == nil {
 		return fmt.Errorf("bcast: nil rank function")
@@ -127,24 +147,45 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 		defer stop()
 		ctx = merged
 	}
-	w, err := engine.NewWorld(engine.Options{
-		NP:         cl.np,
-		Topology:   cl.topo,
-		EagerLimit: cl.eager,
-		Timeout:    cl.timeout,
-		Executor:   cl.exec,
-		MaxWorkers: cl.workers,
-	})
-	if err != nil {
-		return fmt.Errorf("bcast: %w", err)
+	w := cl.world
+	if w == nil || !w.Reusable() {
+		var err error
+		w, err = engine.NewWorld(engine.Options{
+			NP:         cl.np,
+			Topology:   cl.topo,
+			EagerLimit: cl.eager,
+			Timeout:    cl.timeout,
+			Executor:   cl.exec,
+			MaxWorkers: cl.workers,
+		})
+		if err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
+		cl.world = w
+		cl.boots++
 	}
-	return w.RunContext(ctx, func(mc mpiComm) error {
+	err := w.RunContext(ctx, func(mc mpiComm) error {
 		if cl.collector != nil {
-			mc = cl.collector.Wrap(mc)
+			// Per-rank recorder slots keep the collector's memory
+			// constant however many runs reuse this world.
+			mc = cl.collector.WrapSlot(mc.Rank(), mc)
 		}
 		return fn(Comm{mc: mc, defaults: cl.opts})
 	})
+	if err != nil {
+		// Fallback to per-run boot: an aborted (or strictness-failed)
+		// world may hold wedged state; retire it rather than reason
+		// about partial cleanup.
+		cl.world = nil
+	}
+	return err
 }
+
+// Boots reports how many engine worlds the cluster has booted so far:
+// 1 after any number of clean Runs (the steady state), +1 for every
+// fallback boot forced by a failed or canceled Run. Call it between
+// Runs, not during one.
+func (cl *Cluster) Boots() int { return cl.boots }
 
 // Traffic describes the message traffic of a cluster's runs, classified
 // through the placement: Inter counts messages whose sender and

@@ -34,6 +34,21 @@
 // results, traffic and cancellation semantics. Cluster.Executor reports
 // the effective substrate.
 //
+// # Cluster reuse
+//
+// A Cluster amortizes its engine world across Runs: the first Run boots
+// it, and every later clean Run re-launches rank bodies onto the booted
+// world, whose pooled message buffers make the steady-state cost of a
+// broadcast a few hundred allocations for the relaunch instead of tens
+// of thousands for a boot (BENCH_steadystate_allocs.json records the
+// measured trajectory). Reuse is semantically invisible — buffers and
+// traced traffic are identical run over run — and it degrades safely: a
+// Run that returns an error for any reason (rank failure, cancellation,
+// timeout, deadlock) retires the world and the next Run transparently
+// boots a fresh one. Cluster.Boots exposes the boot count, so tests can
+// assert the steady state really reused (Boots() == 1) or that a
+// fallback boot happened (Boots() == 2 after one failed Run).
+//
 // # Selection: options in, one Decision out
 //
 // Which broadcast algorithm runs is decided in exactly one place. Cluster

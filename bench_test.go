@@ -5,6 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"context"
+
+	"repro/bcast"
 	"repro/internal/bench"
 	"repro/internal/collective"
 	"repro/internal/core"
@@ -533,6 +536,89 @@ func BenchmarkExecutorWorldBcast(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Steady-state broadcast benchmark. Unlike BenchmarkExecutorWorldBcast
+// (which pays a full world lifecycle per iteration), this grid reuses
+// one bcast.Cluster across every iteration: the first Run boots the
+// world, the measured Runs relaunch rank bodies onto it, and the
+// engine's pooled staging/envelope/request free lists absorb the
+// per-message allocations. allocs/op here is therefore the true
+// per-broadcast steady-state cost — compare against the boot-per-op
+// numbers in BENCH_pooled_vs_goroutine.json. Run it with
+//
+//	go test -bench=BenchmarkSteadyStateBcast -benchmem .
+//
+// and compare against BENCH_steadystate_allocs.json (the recorded
+// trajectory of the zero-alloc steady-state work).
+// ---------------------------------------------------------------------
+
+func BenchmarkSteadyStateBcast(b *testing.B) {
+	algos := []struct{ name, algo string }{
+		{"native", bcast.RingNative},
+		{"opt-seg", bcast.RingOptSeg},
+	}
+	for _, np := range []int{64, 256} {
+		for _, ex := range []string{"goroutine", "pooled"} {
+			for _, al := range algos {
+				b.Run(fmt.Sprintf("exec=%s/np=%d/algo=%s", ex, np, al.name), func(b *testing.B) {
+					n := 64 * np
+					opts := []bcast.Option{
+						bcast.Procs(np),
+						bcast.Placement("blocked:32"),
+						bcast.Algorithm(al.algo),
+						bcast.Timeout(5 * time.Minute),
+					}
+					if al.algo == bcast.RingOptSeg {
+						opts = append(opts, bcast.SegSize(8<<10))
+					}
+					if ex == "pooled" {
+						opts = append(opts, bcast.ExecPooled(0))
+					}
+					ctx := context.Background()
+					cl, err := bcast.NewCluster(ctx, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Per-rank buffers live across iterations so the rank
+					// bodies allocate nothing per broadcast.
+					src := make([]byte, n)
+					for i := range src {
+						src[i] = byte(i)
+					}
+					bufs := make([][]byte, np)
+					for r := range bufs {
+						bufs[r] = make([]byte, n)
+					}
+					run := func() error {
+						copy(bufs[0], src)
+						return cl.Run(ctx, func(c bcast.Comm) error {
+							return c.Bcast(ctx, bufs[c.Rank()], 0)
+						})
+					}
+					// Warmup boots the world and populates the pools.
+					if err := run(); err != nil {
+						b.Fatal(err)
+					}
+					b.SetBytes(int64(n))
+					b.ResetTimer()
+					start := time.Now()
+					for i := 0; i < b.N; i++ {
+						if err := run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					elapsed := time.Since(start)
+					b.StopTimer()
+					if boots := cl.Boots(); boots != 1 {
+						b.Fatalf("world rebooted during steady state: %d boots", boots)
+					}
+					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "broadcasts/sec")
+				})
+			}
 		}
 	}
 }

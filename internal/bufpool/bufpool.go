@@ -1,0 +1,124 @@
+// Package bufpool provides size-classed free lists for the scratch
+// buffers the engine's message path and the collective algorithms
+// allocate per operation. In a long-lived world serving millions of
+// collectives, per-message `make`s dominate the allocation profile
+// (see BENCH_pooled_vs_goroutine.json); routing them through these
+// pools makes the steady state allocation-free regardless of segment
+// count or message size.
+//
+// Buffers travel inside a wrapper (Buf, F64) whose pointer is what the
+// underlying sync.Pool stores, so neither Get nor Release allocates on
+// the pool hit path — pooling a bare slice would box its header into an
+// interface on every Put.
+//
+// # Ownership
+//
+// Get transfers exclusive ownership of the wrapper and its buffer to
+// the caller; ownership may be handed off (the engine's eager path
+// fills a buffer on the sender and releases it on the receiver), but
+// exactly one goroutine owns a wrapper at any moment and only the
+// owner may call Release. After Release the buffer must not be read or
+// written — the pool will hand it to an unrelated caller. Buffers are
+// returned with their previous contents intact; callers that need
+// zeroed memory must clear them.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size classes are powers of two from 1<<minShift to 1<<maxShift
+// bytes. Requests above the largest class fall back to plain
+// allocation and are dropped on Release (huge one-off transfers must
+// not pin megabytes in the pool forever).
+const (
+	minShift = 6  // 64 B
+	maxShift = 22 // 4 MiB
+)
+
+// Buf is a pooled byte buffer. B has exactly the requested length; its
+// capacity is the size class.
+type Buf struct {
+	B    []byte
+	pool *sync.Pool
+}
+
+// F64 is a pooled float64 buffer. F has exactly the requested length.
+type F64 struct {
+	F    []float64
+	pool *sync.Pool
+}
+
+var bytePools [maxShift - minShift + 1]sync.Pool
+var f64Pools [maxShift - minShift + 1]sync.Pool
+
+func init() {
+	for i := range bytePools {
+		shift := minShift + i
+		pool := &bytePools[i]
+		pool.New = func() any {
+			return &Buf{B: make([]byte, 1<<shift), pool: pool}
+		}
+	}
+	for i := range f64Pools {
+		shift := minShift + i
+		pool := &f64Pools[i]
+		pool.New = func() any {
+			return &F64{F: make([]float64, 1<<shift), pool: pool}
+		}
+	}
+}
+
+// class returns the pool index for a request of n elements, or -1 when
+// n exceeds the largest class.
+func class(n int) int {
+	if n > 1<<maxShift {
+		return -1
+	}
+	shift := minShift
+	if n > 1<<minShift {
+		shift = bits.Len(uint(n - 1))
+	}
+	return shift - minShift
+}
+
+// Get returns a buffer of length n (n >= 0). The contents are
+// unspecified.
+func Get(n int) *Buf {
+	c := class(n)
+	if c < 0 {
+		return &Buf{B: make([]byte, n)}
+	}
+	b := bytePools[c].Get().(*Buf)
+	b.B = b.B[:cap(b.B)][:n]
+	return b
+}
+
+// Release returns b to its pool. b must not be used afterwards.
+func (b *Buf) Release() {
+	if b == nil || b.pool == nil {
+		return
+	}
+	b.pool.Put(b)
+}
+
+// GetF64 returns a float64 buffer of length n (n >= 0). The contents
+// are unspecified.
+func GetF64(n int) *F64 {
+	c := class(n)
+	if c < 0 {
+		return &F64{F: make([]float64, n)}
+	}
+	f := f64Pools[c].Get().(*F64)
+	f.F = f.F[:cap(f.F)][:n]
+	return f
+}
+
+// Release returns f to its pool. f must not be used afterwards.
+func (f *F64) Release() {
+	if f == nil || f.pool == nil {
+		return
+	}
+	f.pool.Put(f)
+}

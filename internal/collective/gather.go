@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/mpi"
 )
@@ -36,18 +37,27 @@ func Scatter(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) er
 	extent := core.Extent(rel, p)
 
 	// tmp holds this rank's subtree block in relative-chunk order:
-	// relative chunk k lives at tmp[(k-rel)*chunk : ...).
+	// relative chunk k lives at tmp[(k-rel)*chunk : ...). The scratch
+	// comes from the shared buffer pool, so repeated scatters on a
+	// long-lived world allocate nothing here in the steady state. It is
+	// released only on the clean path: an errored Send/Recv means the
+	// world aborted, and a peer may still be copying through this buffer,
+	// so it must be abandoned to the GC rather than recycled (the same
+	// rule the engine's own pools follow — see internal/engine/pool.go).
 	var tmp []byte
+	var scratch *bufpool.Buf
 	if rank == root {
 		// Rotate the source into relative order so subtree blocks are
 		// contiguous (root's own chunk first).
-		tmp = make([]byte, p*chunk)
+		scratch = bufpool.Get(p * chunk)
+		tmp = scratch.B
 		for k := 0; k < p; k++ {
 			src := core.AbsRank(k, root, p)
 			copy(tmp[k*chunk:(k+1)*chunk], sendBuf[src*chunk:(src+1)*chunk])
 		}
 	} else {
-		tmp = make([]byte, extent*chunk)
+		scratch = bufpool.Get(extent * chunk)
+		tmp = scratch.B
 		recvMask := rel & (-rel)
 		parent := core.AbsRank(rel-recvMask, root, p)
 		if _, err := c.Recv(tmp, parent, tagScatter); err != nil {
@@ -72,6 +82,7 @@ func Scatter(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) er
 		}
 	}
 	copy(recvBuf[:chunk], tmp[:chunk])
+	scratch.Release()
 	return nil
 }
 
@@ -101,7 +112,11 @@ func Gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) err
 	rel := core.RelRank(rank, root, p)
 	extent := core.Extent(rel, p)
 
-	tmp := make([]byte, extent*chunk)
+	// Pooled like Scatter's scratch, with the same discipline: released
+	// only on the clean paths, abandoned to the GC when a Send/Recv errors
+	// (an aborted peer may still be copying through it).
+	scratch := bufpool.Get(extent * chunk)
+	tmp := scratch.B
 	copy(tmp[:chunk], sendBuf[:chunk])
 
 	// Receive children's subtree blocks, smallest mask first (the reverse
@@ -128,6 +143,7 @@ func Gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) err
 		if err := c.Send(tmp, parent, tagGather); err != nil {
 			return fmt.Errorf("collective: gather send: %w", err)
 		}
+		scratch.Release()
 		return nil
 	}
 	// Root: un-rotate the relative-order block into absolute rank order.
@@ -135,6 +151,7 @@ func Gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) err
 		dst := core.AbsRank(k, root, p)
 		copy(recvBuf[dst*chunk:(dst+1)*chunk], tmp[k*chunk:(k+1)*chunk])
 	}
+	scratch.Release()
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/mpi"
 )
@@ -62,12 +63,12 @@ func (op Op) combine(dst, src []float64) {
 	}
 }
 
-func encodeFloat64s(vals []float64) []byte {
-	b := make([]byte, 8*len(vals))
+// encodeFloat64sInto writes vals into b (which must hold 8*len(vals)
+// bytes), so callers with pooled scratch encode without allocating.
+func encodeFloat64sInto(b []byte, vals []float64) {
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
 	}
-	return b
 }
 
 func decodeFloat64s(b []byte, out []float64) {
@@ -88,7 +89,17 @@ func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
 	if rank == root && len(out) < len(in) {
 		return fmt.Errorf("collective: reduce: out %d < in %d", len(out), len(in))
 	}
-	acc := append([]float64(nil), in...)
+	// All scratch — the accumulator, the decode staging and the wire
+	// buffer — is pooled, so steady-state reductions on a long-lived
+	// world allocate nothing here. Scratch is released only on the clean
+	// path: when a Send/Recv errors the world aborted and a peer may
+	// still be copying through the wire buffer, so everything is
+	// abandoned to the GC instead (the engine pools' abort rule).
+	accBuf := bufpool.GetF64(len(in))
+	acc := accBuf.F
+	copy(acc, in)
+	var tmpBuf *bufpool.F64
+	var wire *bufpool.Buf
 	if p > 1 {
 		rel := core.RelRank(rank, root, p)
 		// Children are exactly the binomial-bcast children; receive them
@@ -97,8 +108,10 @@ func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
 		if rel != 0 {
 			recvMask = rel & (-rel)
 		}
-		tmp := make([]float64, len(in))
-		buf := make([]byte, 8*len(in))
+		tmpBuf = bufpool.GetF64(len(in))
+		tmp := tmpBuf.F
+		wire = bufpool.Get(8 * len(in))
+		buf := wire.B
 		for mask := 1; mask < recvMask; mask <<= 1 {
 			child := rel + mask
 			if child >= p {
@@ -113,7 +126,8 @@ func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
 		}
 		if rel != 0 {
 			parent := core.AbsRank(rel-(rel&(-rel)), root, p)
-			if err := c.Send(encodeFloat64s(acc), parent, tagReduce); err != nil {
+			encodeFloat64sInto(buf, acc)
+			if err := c.Send(buf, parent, tagReduce); err != nil {
 				return fmt.Errorf("collective: reduce send: %w", err)
 			}
 		}
@@ -121,6 +135,9 @@ func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
 	if rank == root {
 		copy(out, acc)
 	}
+	accBuf.Release()
+	tmpBuf.Release()
+	wire.Release()
 	return nil
 }
 
@@ -137,13 +154,17 @@ func AllreduceFloat64(c mpi.Comm, in, out []float64, op Op) error {
 	if err := ReduceFloat64(c, in, root0Out, op, 0); err != nil {
 		return err
 	}
-	buf := make([]byte, 8*len(in))
+	// Released only on success: on a broadcast error the wire buffer may
+	// still be in a peer's hands, so it is abandoned to the GC.
+	wire := bufpool.Get(8 * len(in))
+	buf := wire.B
 	if c.Rank() == 0 {
-		copy(buf, encodeFloat64s(out[:len(in)]))
+		encodeFloat64sInto(buf, out[:len(in)])
 	}
 	if err := BcastBinomial(c, buf, 0); err != nil {
 		return err
 	}
 	decodeFloat64s(buf, out[:len(in)])
+	wire.Release()
 	return nil
 }

@@ -135,6 +135,8 @@ func (c *comm) Sendrecv(sendBuf []byte, to, sendTag int, recvBuf []byte, from, r
 	sreq := c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), sendBuf, sendTag, c.cancel)
 	_, serr := sreq.Wait()
 	st, rerr := rreq.Wait()
+	putRequest(sreq) // Sendrecv is the sole holder of both requests
+	putRequest(rreq)
 	if rerr != nil {
 		return st, rerr
 	}

@@ -4,28 +4,35 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/mpi"
 )
 
 // envelope is a message that arrived before a matching receive was posted
-// (MPI's "unexpected message queue" entry).
+// (MPI's "unexpected message queue" entry). Envelopes are pooled; see
+// pool.go for the ownership rules.
 type envelope struct {
 	ctx      int64
 	src      int // sender's rank within the ctx communicator
 	srcWorld int // sender's world rank (for flow-control accounting)
 	tag      int
-	data     []byte    // eager payload (engine-owned copy); nil for rendezvous
-	rdv      *rdvState // non-nil for rendezvous
+	data     []byte       // eager payload (engine-owned copy); nil for rendezvous
+	dbuf     *bufpool.Buf // pool handle backing data; released on consumption
+	rdv      *rdvState    // non-nil for rendezvous
 }
 
 // rdvState links a blocked rendezvous sender to the eventual receiver.
-// The receiver copies directly out of buf (single copy) and closes done.
+// The receiver copies directly out of buf (single copy) and signals done
+// with one buffered send — a send, not a close, so the channel survives
+// recycling through rdvPool.
 type rdvState struct {
 	buf  []byte
-	done chan struct{}
+	done chan struct{} // buffered(1); exactly one signal per use
 }
 
-// posted is a receive waiting for a matching message.
+// posted is a receive waiting for a matching message. Pooled; the done
+// channel is reused across recycles (one value per use, drained by the
+// receiver before the object returns to the pool).
 type posted struct {
 	ctx      int64
 	src, tag int // may be mpi.AnySource / mpi.AnyTag
@@ -87,11 +94,17 @@ func copyPayload(dst, src []byte) (int, error) {
 }
 
 // matchPosted finds and removes the first posted receive matching
-// (ctx, src, tag). Caller holds ep.mu.
+// (ctx, src, tag). Caller holds ep.mu. The vacated tail slot is nil'ed:
+// the shift-down delete otherwise leaves the last pointer duplicated
+// past the new length, pinning a delivered (and possibly recycled)
+// object for the world's lifetime.
 func (ep *endpoint) matchPosted(ctx int64, src, tag int) *posted {
 	for i, pr := range ep.recvs {
 		if pr.ctx == ctx && matchSrc(pr.src, src) && matchTag(pr.tag, tag) {
-			ep.recvs = append(ep.recvs[:i], ep.recvs[i+1:]...)
+			last := len(ep.recvs) - 1
+			copy(ep.recvs[i:], ep.recvs[i+1:])
+			ep.recvs[last] = nil
+			ep.recvs = ep.recvs[:last]
 			return pr
 		}
 	}
@@ -99,11 +112,16 @@ func (ep *endpoint) matchPosted(ctx int64, src, tag int) *posted {
 }
 
 // matchArrival finds and removes the first arrived envelope matching
-// (ctx, src, tag). Caller holds ep.mu.
+// (ctx, src, tag). Caller holds ep.mu. The vacated tail slot is nil'ed
+// so consumed envelopes (and the pooled buffers they carry) stay
+// reclaimable.
 func (ep *endpoint) matchArrival(ctx int64, src, tag int) *envelope {
 	for i, env := range ep.arrivals {
 		if env.ctx == ctx && matchSrc(src, env.src) && matchTag(tag, env.tag) {
-			ep.arrivals = append(ep.arrivals[:i], ep.arrivals[i+1:]...)
+			last := len(ep.arrivals) - 1
+			copy(ep.arrivals[i:], ep.arrivals[i+1:])
+			ep.arrivals[last] = nil
+			ep.arrivals = ep.arrivals[:last]
 			return env
 		}
 	}

@@ -23,6 +23,21 @@
 // tests and user-level wall-clock benchmarks run against it. Timing of
 // the paper's cluster experiments is modelled separately by
 // internal/netsim.
+//
+// # Steady-state allocation discipline
+//
+// A World separates boot cost from per-operation cost. Boot allocates
+// the endpoints, executor and per-rank scratch once; after that, a
+// clean world may Run any number of times, and the message path recycles
+// its per-message objects — eager payload copies (via internal/bufpool),
+// unexpected-queue envelopes, posted receives, rendezvous states and the
+// internal blocking paths' requests — through free lists. The ownership
+// rules for those pooled objects (who may hold a pooled buffer, and
+// until when) are spelled out in pool.go; the short version is that
+// ownership follows the message, and only the final consumer returns an
+// object to its pool, always on a clean completion path — aborted
+// operations abandon their objects to the garbage collector rather than
+// risk recycling something a peer still references.
 package engine
 
 import (
@@ -83,8 +98,16 @@ type Options struct {
 	MaxWorkers int
 }
 
-// World is a fixed-size group of ranks with message endpoints. A World is
-// single-use: create, Run, discard.
+// World is a fixed-size group of ranks with message endpoints. A World
+// may host any number of sequential Runs as long as every one finishes
+// cleanly: rank bodies are re-launched onto the live endpoints, the
+// watchdog re-arms, and the boot-time allocations (endpoints, executor,
+// per-rank state) are paid exactly once — the split between world-boot
+// cost and per-operation cost that makes steady-state serving viable.
+// A world that aborted (rank error, panic, cancellation, timeout,
+// deadlock) is spent: its pending operations unwound through the closed
+// abort channel, so further Runs are refused and the caller must boot a
+// fresh world. Reusable reports which side of that line a world is on.
 type World struct {
 	np           int
 	topo         *topology.Map
@@ -105,7 +128,16 @@ type World struct {
 	progress atomic.Int64
 	// state[r]: 0 = running, 1 = blocked in a communication call, 2 = done.
 	state []atomic.Int32
-	ran   atomic.Bool
+	// running guards against concurrent Runs on one world; sequential
+	// reuse resets the per-run state below.
+	running atomic.Bool
+
+	// Per-run scratch, pre-sized at boot and reset in place between
+	// runs so a reused world's Run allocates O(np) at most (goroutine
+	// launches), never O(messages).
+	members []int   // world communicator members (identity), shared by every run
+	comms   []comm  // per-rank world communicators, rewritten per run
+	errs    []error // per-rank run errors, cleared per run
 }
 
 // NewWorld validates opts and builds a World.
@@ -157,9 +189,15 @@ func NewWorld(opts Options) (*World, error) {
 		eps:          make([]*endpoint, opts.NP),
 		aborted:      make(chan struct{}),
 		state:        make([]atomic.Int32, opts.NP),
+		members:      make([]int, opts.NP),
+		comms:        make([]comm, opts.NP),
+		errs:         make([]error, opts.NP),
 	}
 	for i := range w.eps {
 		w.eps[i] = newEndpoint()
+	}
+	for i := range w.members {
+		w.members[i] = i
 	}
 	return w, nil
 }
@@ -177,6 +215,21 @@ func (w *World) EagerLimit() int { return w.eagerLimit }
 // ExecutorName labels the world's rank-execution substrate for
 // provenance ("goroutine", "pooled(8)").
 func (w *World) ExecutorName() string { return w.exec.Name() }
+
+// Reusable reports whether the world can host another Run: no Run is in
+// progress and the world has not aborted. It is advisory — callers like
+// bcast.Cluster consult it to decide between reusing a booted world and
+// falling back to a fresh boot. A world whose last Run returned a
+// non-nil error of any kind should be discarded even if Reusable still
+// reports true (a strictness failure leaves stale messages behind).
+func (w *World) Reusable() bool {
+	select {
+	case <-w.aborted:
+		return false
+	default:
+	}
+	return !w.running.Load()
+}
 
 func (w *World) abort(err error) {
 	w.abortOnce.Do(func() {
@@ -197,7 +250,9 @@ func (w *World) abortError() error {
 // unblocking every pending operation with mpi.ErrAborted. After a clean
 // finish, Run fails if any endpoint still holds unconsumed messages —
 // every sent message must have been received, which catches mismatched
-// schedules that MPI itself would let leak.
+// schedules that MPI itself would let leak. After a clean (nil-error)
+// finish the world may Run again; an aborted world refuses further
+// Runs.
 func (w *World) Run(fn func(mpi.Comm) error) error {
 	return w.RunContext(context.Background(), fn)
 }
@@ -211,17 +266,29 @@ func (w *World) Run(fn func(mpi.Comm) error) error {
 // between calls observe cancellation at their next communication call;
 // the watcher below catches them even mid-block.
 func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
-	if !w.ran.CompareAndSwap(false, true) {
-		return errors.New("engine: World is single-use; create a new one per Run")
+	if !w.running.CompareAndSwap(false, true) {
+		return errors.New("engine: concurrent Run on one World (Runs must be sequential)")
+	}
+	defer w.running.Store(false)
+	select {
+	case <-w.aborted:
+		return fmt.Errorf("engine: world is spent: %w (boot a new World after an abort)", w.abortError())
+	default:
+	}
+	// Re-arm per-run state in place: rank states back to running, rank
+	// errors cleared. Endpoints need no reset — a clean previous run
+	// proved them drained, and context ids are world-monotonic so stale
+	// matching is impossible.
+	for r := range w.state {
+		w.state[r].Store(0)
+	}
+	for r := range w.errs {
+		w.errs[r] = nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	worldCtx := w.ctxSeq.Add(1)
-	members := make([]int, w.np)
-	for i := range members {
-		members[i] = i
-	}
 	cancel := cancelSignal{}
 	if ctx.Done() != nil {
 		cancel = cancelSignal{
@@ -242,19 +309,21 @@ func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 		}()
 	}
 
-	errs := make([]error, w.np)
 	body := func(rank int) {
 		defer w.state[rank].Store(2)
 		defer func() {
 			if rec := recover(); rec != nil {
-				errs[rank] = fmt.Errorf("engine: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
-				w.abort(errs[rank])
+				w.errs[rank] = fmt.Errorf("engine: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+				w.abort(w.errs[rank])
 			}
 		}()
-		c := &comm{w: w, ctx: worldCtx, members: members, rank: rank, topo: w.topo, cancel: cancel}
+		// Per-rank communicators are pre-allocated at boot and rewritten
+		// per run (a Comm is documented as valid only during the call).
+		c := &w.comms[rank]
+		*c = comm{w: w, ctx: worldCtx, members: w.members, rank: rank, topo: w.topo, cancel: cancel}
 		if err := fn(c); err != nil {
-			errs[rank] = fmt.Errorf("engine: rank %d: %w", rank, err)
-			w.abort(errs[rank])
+			w.errs[rank] = fmt.Errorf("engine: rank %d: %w", rank, err)
+			w.abort(w.errs[rank])
 		}
 	}
 
@@ -272,7 +341,7 @@ func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 
 	// Report the root cause: a rank's own failure beats cascade aborts.
 	var cascade error
-	for _, err := range errs {
+	for _, err := range w.errs {
 		if err == nil {
 			continue
 		}

@@ -333,16 +333,59 @@ func TestUnconsumedMessageStrictness(t *testing.T) {
 	}
 }
 
-func TestWorldSingleUse(t *testing.T) {
-	w, err := NewWorld(Options{NP: 1})
+func TestWorldReuseAfterCleanRun(t *testing.T) {
+	w, err := NewWorld(Options{NP: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Run(func(mpi.Comm) error { return nil }); err != nil {
+	if !w.Reusable() {
+		t.Fatal("fresh world must be reusable")
+	}
+	for run := 0; run < 3; run++ {
+		payload := byte(10 + run)
+		err := w.Run(func(c mpi.Comm) error {
+			if c.Rank() == 0 {
+				return c.Send([]byte{payload}, 1, 1)
+			}
+			buf := make([]byte, 1)
+			if _, err := c.Recv(buf, 0, 1); err != nil {
+				return err
+			}
+			if buf[0] != payload {
+				return fmt.Errorf("run %d: got %d, want %d", run, buf[0], payload)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("run %d on reused world: %v", run, err)
+		}
+		if !w.Reusable() {
+			t.Fatalf("world not reusable after clean run %d", run)
+		}
+	}
+}
+
+func TestWorldSpentAfterAbort(t *testing.T) {
+	w, err := NewWorld(Options{NP: 2, DeadlockAfter: -1})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Run(func(mpi.Comm) error { return nil }); err == nil {
-		t.Fatal("second Run must fail")
+	sentinel := errors.New("rank failure")
+	if err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			return sentinel
+		}
+		_, err := c.Recv(make([]byte, 1), 0, 1)
+		return err
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("aborting run: %v", err)
+	}
+	if w.Reusable() {
+		t.Fatal("aborted world must not be reusable")
+	}
+	err = w.Run(func(mpi.Comm) error { return nil })
+	if err == nil || !errors.Is(err, mpi.ErrAborted) {
+		t.Fatalf("Run on spent world = %v, want wrapped mpi.ErrAborted", err)
 	}
 }
 

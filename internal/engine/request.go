@@ -1,11 +1,15 @@
 package engine
 
 import (
+	"repro/internal/bufpool"
 	"repro/internal/mpi"
 )
 
 // request implements mpi.Request. A request is used only by its owning
 // rank's goroutine (like MPI), so completion caching needs no locking.
+// Requests are pooled: the engine's own blocking paths recycle them
+// through putRequest, while requests returned by Isend/Irecv stay with
+// the caller (see pool.go).
 type request struct {
 	w *World
 	// trackRank, when >= 0, marks that world rank blocked while Wait
@@ -16,9 +20,9 @@ type request struct {
 	cancel cancelSignal
 
 	// Pending completion sources (exactly one is non-nil while pending):
-	recvCh chan recvResult // posted receive
-	rdv    *rdvState       // zero-copy send awaiting its receiver
-	sendN  int             // payload size for the send status
+	pr    *posted   // posted receive (completion delivered via pr.done)
+	rdv   *rdvState // zero-copy send awaiting its receiver
+	sendN int       // payload size for the send status
 
 	// Cached result once complete.
 	complete bool
@@ -27,11 +31,6 @@ type request struct {
 }
 
 var _ mpi.Request = (*request)(nil)
-
-// completedRequest returns an already-finished request.
-func completedRequest(st mpi.Status, err error) *request {
-	return &request{complete: true, st: st, err: err, trackRank: -1}
-}
 
 func (r *request) Wait() (mpi.Status, error) {
 	if r.complete {
@@ -49,10 +48,11 @@ func (r *request) Wait() (mpi.Status, error) {
 		defer r.w.unparkRank(r.trackRank)
 	}
 	switch {
-	case r.recvCh != nil:
+	case r.pr != nil:
 		select {
-		case res := <-r.recvCh:
+		case res := <-r.pr.done:
 			r.st, r.err = res.st, res.err
+			putPosted(r.pr) // drained; the sender is done with it
 		case <-r.w.aborted:
 			r.st, r.err = mpi.Status{}, r.w.abortError()
 		case <-r.cancel.done:
@@ -62,6 +62,7 @@ func (r *request) Wait() (mpi.Status, error) {
 		select {
 		case <-r.rdv.done:
 			r.st, r.err = mpi.Status{Count: r.sendN}, nil
+			putRdv(r.rdv) // signal consumed; the receiver is done with it
 		case <-r.w.aborted:
 			r.st, r.err = mpi.Status{}, r.w.abortError()
 		case <-r.cancel.done:
@@ -69,7 +70,7 @@ func (r *request) Wait() (mpi.Status, error) {
 		}
 	}
 	r.complete = true
-	r.recvCh, r.rdv = nil, nil
+	r.pr, r.rdv = nil, nil
 	return r.st, r.err
 }
 
@@ -78,10 +79,11 @@ func (r *request) Done() bool {
 		return true
 	}
 	switch {
-	case r.recvCh != nil:
+	case r.pr != nil:
 		select {
-		case res := <-r.recvCh:
+		case res := <-r.pr.done:
 			r.st, r.err = res.st, res.err
+			putPosted(r.pr)
 		default:
 			return false
 		}
@@ -89,12 +91,13 @@ func (r *request) Done() bool {
 		select {
 		case <-r.rdv.done:
 			r.st, r.err = mpi.Status{Count: r.sendN}, nil
+			putRdv(r.rdv)
 		default:
 			return false
 		}
 	}
 	r.complete = true
-	r.recvCh, r.rdv = nil, nil
+	r.pr, r.rdv = nil, nil
 	return true
 }
 
@@ -121,9 +124,10 @@ func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, ta
 		var n int
 		var err error
 		if eager {
-			staging := make([]byte, len(buf))
-			copy(staging, buf)
-			n, err = copyPayload(pr.buf, staging)
+			staging := bufpool.Get(len(buf))
+			copy(staging.B, buf)
+			n, err = copyPayload(pr.buf, staging.B)
+			staging.Release()
 		} else {
 			n, err = copyPayload(pr.buf, buf)
 		}
@@ -133,11 +137,7 @@ func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, ta
 		return completedRequest(mpi.Status{Count: len(buf)}, nil)
 	}
 	if eager && (w.eagerCredits == 0 || ep.eagerBuffered[srcWorld] < w.eagerCredits) {
-		data := make([]byte, len(buf))
-		copy(data, buf)
-		ep.arrivals = append(ep.arrivals, &envelope{
-			ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, data: data,
-		})
+		ep.arrivals = append(ep.arrivals, newEagerEnvelope(ctx, srcRank, srcWorld, tag, buf))
 		ep.eagerBuffered[srcWorld]++
 		ep.mu.Unlock()
 		w.progress.Add(1)
@@ -146,13 +146,14 @@ func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, ta
 	// Zero-copy envelope: rendezvous-sized payloads, or eager overflow
 	// past the credit window (the pinned buffer substitutes for the
 	// buffering the receiver refused).
-	rdv := &rdvState{buf: buf, done: make(chan struct{})}
-	ep.arrivals = append(ep.arrivals, &envelope{
-		ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, rdv: rdv,
-	})
+	env := newRdvEnvelope(ctx, srcRank, srcWorld, tag, buf)
+	rdv := env.rdv
+	ep.arrivals = append(ep.arrivals, env)
 	ep.mu.Unlock()
 	w.progress.Add(1)
-	return &request{w: w, trackRank: srcWorld, rdv: rdv, sendN: len(buf), cancel: cnl}
+	r := requestPool.Get().(*request)
+	*r = request{w: w, trackRank: srcWorld, rdv: rdv, sendN: len(buf), cancel: cnl}
+	return r
 }
 
 // irecv posts a nonblocking receive. Posting happens synchronously (so a
@@ -171,20 +172,27 @@ func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int, cnl canc
 	ep.mu.Lock()
 	if env := ep.matchArrival(ctx, src, tag); env != nil {
 		if env.rdv != nil {
-			n, err := copyPayload(buf, env.rdv.buf)
+			rdv := env.rdv
+			n, err := copyPayload(buf, rdv.buf)
 			ep.mu.Unlock()
-			close(env.rdv.done)
+			st := mpi.Status{Source: env.src, Tag: env.tag, Count: n}
+			putEnvelope(env)
+			rdv.done <- struct{}{} // sender consumes the signal and recycles rdv
 			w.progress.Add(1)
-			return completedRequest(mpi.Status{Source: env.src, Tag: env.tag, Count: n}, err)
+			return completedRequest(st, err)
 		}
 		n, err := copyPayload(buf, env.data)
 		ep.releaseEagerCredit(env.srcWorld)
 		ep.mu.Unlock()
+		st := mpi.Status{Source: env.src, Tag: env.tag, Count: n}
+		putEnvelope(env)
 		w.progress.Add(1)
-		return completedRequest(mpi.Status{Source: env.src, Tag: env.tag, Count: n}, err)
+		return completedRequest(st, err)
 	}
-	pr := &posted{ctx: ctx, src: src, tag: tag, buf: buf, done: make(chan recvResult, 1)}
+	pr := getPosted(ctx, src, tag, buf)
 	ep.recvs = append(ep.recvs, pr)
 	ep.mu.Unlock()
-	return &request{w: w, trackRank: myWorld, recvCh: pr.done, cancel: cnl}
+	r := requestPool.Get().(*request)
+	*r = request{w: w, trackRank: myWorld, pr: pr, cancel: cnl}
+	return r
 }

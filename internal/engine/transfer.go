@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"repro/internal/bufpool"
 	"repro/internal/mpi"
 )
 
@@ -33,9 +34,10 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 			var n int
 			var err error
 			if eager {
-				staging := make([]byte, len(buf))
-				copy(staging, buf)
-				n, err = copyPayload(pr.buf, staging)
+				staging := bufpool.Get(len(buf))
+				copy(staging.B, buf)
+				n, err = copyPayload(pr.buf, staging.B)
+				staging.Release()
 			} else {
 				n, err = copyPayload(pr.buf, buf)
 			}
@@ -48,15 +50,11 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 			break // fall through to rendezvous below, still holding the lock
 		}
 		if w.eagerCredits == 0 || ep.eagerBuffered[srcWorld] < w.eagerCredits {
-			// Eager within the credit window: the engine takes a copy and
-			// the send completes immediately. (The receive-side staging
-			// copy this implies is charged by internal/netsim in
-			// simulated time.)
-			data := make([]byte, len(buf))
-			copy(data, buf)
-			ep.arrivals = append(ep.arrivals, &envelope{
-				ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, data: data,
-			})
+			// Eager within the credit window: the engine takes a copy
+			// (pooled) and the send completes immediately. (The
+			// receive-side staging copy this implies is charged by
+			// internal/netsim in simulated time.)
+			ep.arrivals = append(ep.arrivals, newEagerEnvelope(ctx, srcRank, srcWorld, tag, buf))
 			ep.eagerBuffered[srcWorld]++
 			ep.mu.Unlock()
 			w.progress.Add(1)
@@ -89,10 +87,9 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 
 	// Rendezvous: enqueue a handle to the sender's buffer and block until
 	// the receiver copies from it. ep.mu is held.
-	rdv := &rdvState{buf: buf, done: make(chan struct{})}
-	ep.arrivals = append(ep.arrivals, &envelope{
-		ctx: ctx, src: srcRank, srcWorld: srcWorld, tag: tag, rdv: rdv,
-	})
+	env := newRdvEnvelope(ctx, srcRank, srcWorld, tag, buf)
+	rdv := env.rdv
+	ep.arrivals = append(ep.arrivals, env)
 	ep.mu.Unlock()
 	w.progress.Add(1)
 
@@ -102,6 +99,7 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 	}
 	select {
 	case <-rdv.done:
+		putRdv(rdv) // signal consumed; the receiver is done with it
 		return nil
 	case <-w.aborted:
 		return w.abortError()
@@ -119,5 +117,7 @@ func (w *World) recv(ctx int64, myWorld int, buf []byte, src, tag int, track boo
 	if !track {
 		r.trackRank = -1
 	}
-	return r.Wait()
+	st, err := r.Wait()
+	putRequest(r) // recv is the sole holder; recycle
+	return st, err
 }

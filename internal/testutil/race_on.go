@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. Tests
+// that assert allocation counts skip under -race: the detector's own
+// bookkeeping allocates, so the counts are meaningless there.
+const RaceEnabled = true

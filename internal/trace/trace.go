@@ -78,16 +78,44 @@ func (s Stats) String() string {
 type Collector struct {
 	mu        sync.Mutex
 	recorders []*recorder
+	// slots holds the per-rank recorders WrapSlot reuses across
+	// sequential runs, so a collector observing a long-lived reused
+	// world accumulates in place instead of growing one recorder per
+	// rank per run.
+	slots []*recorder
 }
 
 // NewCollector returns an empty Collector.
 func NewCollector() *Collector { return &Collector{} }
 
-// Wrap returns a Comm that forwards to c and records its traffic.
+// Wrap returns a Comm that forwards to c and records its traffic into a
+// fresh recorder.
 func (col *Collector) Wrap(c mpi.Comm) mpi.Comm {
 	r := &recorder{byTag: map[int]*tagCounts{}}
 	col.mu.Lock()
 	col.recorders = append(col.recorders, r)
+	col.mu.Unlock()
+	return &tracedComm{inner: c, rec: r, col: col}
+}
+
+// WrapSlot is Wrap with a stable identity: calls with the same slot
+// (one per rank) share one recorder, which keeps a collector's memory
+// constant across any number of sequential runs on a reused cluster.
+// The counts accumulate exactly as with Wrap. Like any Comm, the
+// returned communicator — and therefore the slot's recorder — must be
+// driven by one rank goroutine at a time; distinct slots may be wrapped
+// concurrently.
+func (col *Collector) WrapSlot(slot int, c mpi.Comm) mpi.Comm {
+	col.mu.Lock()
+	for len(col.slots) <= slot {
+		col.slots = append(col.slots, nil)
+	}
+	r := col.slots[slot]
+	if r == nil {
+		r = &recorder{byTag: map[int]*tagCounts{}}
+		col.slots[slot] = r
+		col.recorders = append(col.recorders, r)
+	}
 	col.mu.Unlock()
 	return &tracedComm{inner: c, rec: r, col: col}
 }
