@@ -3,6 +3,7 @@ package bcast
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -10,6 +11,26 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tune"
 )
+
+// runEpoch ties the resources minted during one Cluster.Run — the Comms
+// handed to rank functions and every Persistent handle built from them
+// — to that run's lifetime. When the run returns, the epoch ends with
+// the run's outcome, and any handle that escaped fails loudly on its
+// next use instead of silently matching (or deadlocking against) a
+// fresh world's traffic: after a fallback boot the engine's context
+// sequence restarts, so a stale handle's communicator may carry a
+// context id a new run legitimately reuses.
+type runEpoch struct {
+	done  atomic.Bool
+	cause error // why the run ended; nil for a clean finish. Written before done.
+}
+
+// end closes the epoch with the run's outcome. cause is published
+// before the atomic store, so any goroutine that observes done sees it.
+func (e *runEpoch) end(cause error) {
+	e.cause = cause
+	e.done.Store(true)
+}
 
 // Cluster is a configured group of ranks. It is reusable, and reuse is
 // cheap: the first Run boots an engine world with the cluster's
@@ -164,14 +185,20 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 		cl.world = w
 		cl.boots++
 	}
+	epoch := &runEpoch{}
 	err := w.RunContext(ctx, func(mc mpiComm) error {
 		if cl.collector != nil {
 			// Per-rank recorder slots keep the collector's memory
 			// constant however many runs reuse this world.
 			mc = cl.collector.WrapSlot(mc.Rank(), mc)
 		}
-		return fn(Comm{mc: mc, defaults: cl.opts})
+		return fn(Comm{mc: mc, defaults: cl.opts, epoch: epoch})
 	})
+	// Retire everything minted during the run — escaped Persistent
+	// handles now fail with ErrStaleHandle (carrying this run's outcome
+	// as the cause) rather than matching stale traffic on whatever world
+	// the next Run uses.
+	epoch.end(err)
 	if err != nil {
 		// Fallback to per-run boot: an aborted (or strictness-failed)
 		// world may hold wedged state; retire it rather than reason

@@ -20,8 +20,12 @@ const (
 	// AnyTag matches a message with any tag.
 	AnyTag = mpi.AnyTag
 	// MaxUserTag is the largest tag application code may use; larger
-	// values are reserved for the collective algorithms.
+	// values are reserved for the collective algorithms (Send and Recv
+	// reject them).
 	MaxUserTag = mpi.MaxUserTag
+	// Undefined, passed as the color of Split, excludes the caller from
+	// every resulting communicator.
+	Undefined = mpi.Undefined
 )
 
 // Status describes a completed receive.
@@ -89,6 +93,22 @@ func WithTuner(fn TunerFunc) CallOption {
 type Comm struct {
 	mc       mpi.Comm
 	defaults callDefaults
+	// epoch is the Run this Comm (and every Persistent handle built on
+	// it) belongs to; nil only for the zero value.
+	epoch *runEpoch
+}
+
+// epochAlive reports whether this Comm's Run is still in progress —
+// the precondition for using it or any Persistent handle built on it.
+// The zero-alloc fast path is one atomic load.
+func (c Comm) epochAlive() error {
+	if c.epoch == nil || !c.epoch.done.Load() {
+		return nil
+	}
+	if cause := c.epoch.cause; cause != nil {
+		return fmt.Errorf("%w: its run ended with: %w (build handles inside the current Run; a failed run boots a fresh world whose traffic a stale handle must not match)", ErrStaleHandle, cause)
+	}
+	return fmt.Errorf("%w: its run already finished (build handles inside the current Run)", ErrStaleHandle)
 }
 
 // Rank returns the caller's rank, in [0, Size).
@@ -132,19 +152,45 @@ func (c Comm) Barrier(ctx context.Context) error {
 	return collective.Barrier(c.bind(ctx))
 }
 
-// Send delivers buf to rank to with the given tag (at most MaxUserTag),
+// Send delivers buf to rank to with the given tag (at most MaxUserTag;
+// larger tags belong to the collective streams and are rejected here),
 // blocking until the buffer may be reused. Not collective — the peer
 // must post a matching Recv.
 func (c Comm) Send(ctx context.Context, buf []byte, to, tag int) error {
+	if err := mpi.CheckUserTag(tag, false); err != nil {
+		return fmt.Errorf("bcast: send: %w", err)
+	}
 	return c.bind(ctx).Send(buf, to, tag)
 }
 
 // Recv blocks until a message matching (from, tag) — wildcards
-// AnySource and AnyTag allowed — arrives and is copied into buf. Not
-// collective.
+// AnySource and AnyTag allowed; tags above MaxUserTag rejected —
+// arrives and is copied into buf. Not collective.
 func (c Comm) Recv(ctx context.Context, buf []byte, from, tag int) (Status, error) {
+	if err := mpi.CheckUserTag(tag, true); err != nil {
+		return Status{}, fmt.Errorf("bcast: recv: %w", err)
+	}
 	st, err := c.bind(ctx).Recv(buf, from, tag)
 	return Status{Source: st.Source, Tag: st.Tag, Count: st.Count}, err
+}
+
+// Split partitions the communicator: ranks passing equal colors form a
+// new group, ordered by (key, then current rank). It returns this
+// rank's view of its new group, or ok=false when color is Undefined
+// (the rank opted out). Split is collective — every rank must call it —
+// and the returned Comm is live for the remainder of this Run: its
+// collectives run concurrently with (and fully isolated from) those of
+// the parent and of sibling groups, which is how independent broadcasts
+// on disjoint groups pipeline through one cluster.
+func (c Comm) Split(ctx context.Context, color, key int) (Comm, bool, error) {
+	sub, err := c.bind(ctx).Split(color, key)
+	if err != nil {
+		return Comm{}, false, fmt.Errorf("bcast: split: %w", err)
+	}
+	if sub == nil {
+		return Comm{}, false, nil
+	}
+	return Comm{mc: sub, defaults: c.defaults, epoch: c.epoch}, true, nil
 }
 
 // Scatter distributes consecutive chunk-byte pieces of send (significant

@@ -65,6 +65,50 @@
 // bcastsim -autotune) and replaces those hardcoded thresholds with
 // measured crossover points.
 //
+// # Persistent handles
+//
+// Serving loops that broadcast the same-shaped buffer many times use
+// Comm.BcastInit to resolve the selection once and execute it many
+// times, mirroring MPI persistent requests:
+//
+//	h, err := c.BcastInit(buf, 0)        // Init: decide + validate + warm
+//	for i := 0; i < rounds; i++ {
+//		if err := h.Start(); err != nil { ... }  // activate (local, no comm)
+//		if err := h.Wait(ctx); err != nil { ... } // execute + complete
+//	}
+//	err = h.Free()
+//
+// The lifecycle contract: Init -> (Start -> Wait)* -> Free, with
+// Persistent.Run as the Start+Wait convenience and Rebind to swap
+// buffers between rounds (free for the same length; a re-resolution
+// for a new one). Init is collective — every rank builds its own handle
+// with the same root, length and options — and each Start/Wait round is
+// collective exactly like the Bcast it replaces. The handle owns the
+// buffer between Start and Wait's return: the root writes the next
+// payload before the next Start, nobody touches it in between. A
+// steady-state Start/Wait performs no selection work and no allocations
+// (gated at <= 2 allocs per operation per rank;
+// BENCH_persistent_throughput.json records the measured throughput),
+// and its buffers and traced traffic are identical to the equivalent
+// sequence of per-call Bcasts.
+//
+// A handle is bound to the Run that created it. When that Run returns —
+// cleanly, by error, or by cancellation — the handle is retired and
+// every later use fails with an error wrapping ErrStaleHandle together
+// with the run's own outcome, so a stale handle can never silently
+// broadcast onto the fresh world a failed run boots.
+//
+// # Concurrent collectives
+//
+// Comm.Split partitions a running cluster into disjoint groups (equal
+// colors, ordered by key; Undefined opts out). Each group's
+// collectives — per-call or persistent — run concurrently with and
+// fully isolated from the parent's and the sibling groups', backed by
+// per-operation tag streams inside the engine: every collective entry
+// advances its communicator's stream, so two overlapping operations on
+// different communicators can never match each other's messages even
+// though the algorithms stamp them from the same phase-tag constants.
+//
 // # Typed helpers
 //
 // BcastSlice, ScatterSlice, GatherSlice and AllgatherSlice are generic

@@ -556,6 +556,83 @@ func BenchmarkExecutorWorldBcast(b *testing.B) {
 // trajectory of the zero-alloc steady-state work).
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Persistent-broadcast benchmark: the serving-workload fast path. One
+// cluster, one Run, one BcastInit — then b.N Start/Wait rounds on the
+// resolved handle. Against BenchmarkSteadyStateBcast (which still pays a
+// rank-body relaunch and a fresh tuner resolution per broadcast) this
+// isolates the pure per-operation cost of the pre-resolved plan. Run it
+// with
+//
+//	go test -bench=BenchmarkPersistentBcast -benchmem .
+//
+// and compare against BENCH_persistent_throughput.json (the recorded
+// trajectory of the persistent-handle work).
+// ---------------------------------------------------------------------
+
+func BenchmarkPersistentBcast(b *testing.B) {
+	const np = 64
+	for _, ex := range []string{"goroutine", "pooled"} {
+		b.Run(fmt.Sprintf("exec=%s/np=%d", ex, np), func(b *testing.B) {
+			n := 64 * np
+			opts := []bcast.Option{
+				bcast.Procs(np),
+				bcast.Placement("blocked:32"),
+				bcast.Algorithm(bcast.RingOptSeg),
+				bcast.SegSize(8 << 10),
+				bcast.Timeout(10 * time.Minute),
+			}
+			if ex == "pooled" {
+				opts = append(opts, bcast.ExecPooled(0))
+			}
+			ctx := context.Background()
+			cl, err := bcast.NewCluster(ctx, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Per-rank buffers live across the whole measurement.
+			bufs := make([][]byte, np)
+			for r := range bufs {
+				bufs[r] = make([]byte, n)
+			}
+			for i := range bufs[0] {
+				bufs[0][i] = byte(i)
+			}
+			workload := func(rounds int) error {
+				return cl.Run(ctx, func(c bcast.Comm) error {
+					ph, err := c.BcastInit(bufs[c.Rank()], 0)
+					if err != nil {
+						return err
+					}
+					for i := 0; i < rounds; i++ {
+						if err := ph.Run(ctx); err != nil {
+							return err
+						}
+					}
+					return ph.Free()
+				})
+			}
+			// Warmup boots the world, resolves a plan once and populates
+			// the pooled staging classes.
+			if err := workload(1); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			start := time.Now()
+			if err := workload(b.N); err != nil {
+				b.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if boots := cl.Boots(); boots != 1 {
+				b.Fatalf("world rebooted during steady state: %d boots", boots)
+			}
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "broadcasts/sec")
+		})
+	}
+}
+
 func BenchmarkSteadyStateBcast(b *testing.B) {
 	algos := []struct{ name, algo string }{
 		{"native", bcast.RingNative},

@@ -34,6 +34,14 @@
 // on the winner. -samples writes every raw repetition sample as JSON so
 // runs are reproducible and diffable.
 //
+// -persistent switches the benchmark onto the serving fast path: per
+// message size the tool resolves one persistent handle with BcastInit
+// and drives -iters Start/Wait rounds on it inside a single live run,
+// so the printed bandwidth excludes per-call selection and relaunch
+// costs (compare against the same invocation without -persistent):
+//
+//	bcastbench -persistent -np 64 -algo scatter-ring-allgather-opt-seg -seg 8192 -iters 1000
+//
 // -exec selects the engine's rank-execution substrate in every mode:
 // the default "goroutine" runs one OS-scheduled goroutine per rank,
 // "pooled" multiplexes ranks onto a bounded cooperative worker pool
@@ -46,12 +54,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/bcast"
 	"repro/internal/bench"
 	"repro/internal/collective"
 	"repro/internal/engine"
@@ -73,6 +84,7 @@ func main() {
 		coresFlag = flag.Int("cores", 0, "cores per node for blocked placement (0 = single node; benchmark mode only — tuning modes use -placements)")
 		eagerFlag = flag.Int("eager", 0, "eager limit override in bytes (0 = default, -1 = rendezvous only)")
 		rootFlag  = flag.Int("root", 0, "broadcast root")
+		persFlag  = flag.Bool("persistent", false, "benchmark the persistent fast path: one BcastInit per size, -iters Start/Wait rounds on a live cluster (benchmark mode only)")
 		execFlag  = flag.String("exec", "goroutine", "rank-execution substrate: goroutine (one goroutine per rank) | pooled (bounded cooperative worker pool; use for -np in the hundreds)")
 		workFlag  = flag.Int("workers", 0, "pooled executor worker count, clamped to GOMAXPROCS (0 = GOMAXPROCS; requires -exec pooled)")
 
@@ -173,6 +185,10 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *persFlag {
+			fmt.Fprintln(os.Stderr, "bcastbench: -persistent is benchmark-only (tuning modes measure the per-call path)")
+			os.Exit(2)
+		}
 		if set["model"] && !*crossFlag {
 			fmt.Fprintln(os.Stderr, "bcastbench: -model only selects the -crosscheck reference side")
 			os.Exit(2)
@@ -204,6 +220,19 @@ func main() {
 			root: *rootFlag, eager: *eagerFlag, model: *modelFlag,
 			exec: execPol, workers: *workFlag,
 			crosscheck: *crossFlag, outPath: *outFlag, samplesPath: *samplesFlag,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *persFlag {
+		if err := runPersistent(nps, persistOpts{
+			algo: *algoFlag, table: *tableFlag, seg: *segFlag,
+			min: *minFlag, max: *maxFlag, iters: *itersFlag,
+			cores: *coresFlag, eager: *eagerFlag, root: *rootFlag,
+			exec: execPol, workers: *workFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
 			os.Exit(1)
@@ -377,6 +406,126 @@ func runTuning(procs []int, o tuningOpts) error {
 	}
 	fmt.Println("# engine-derived tuning table:")
 	fmt.Println(string(data))
+	return nil
+}
+
+// persistOpts bundles the -persistent benchmark options.
+type persistOpts struct {
+	algo, table string
+	seg         int
+	min, max    int
+	iters       int
+	cores       int
+	eager, root int
+	exec        engine.ExecPolicy
+	workers     int
+}
+
+// persistSelection maps the -algo spelling onto facade cluster options
+// (the legacy variant names resolve to their registry algorithms, the
+// auto modes to the MPICH3 tuner) and returns the printable label.
+func persistSelection(algo string) ([]bcast.Option, string, error) {
+	legacy := map[string]string{
+		"native": bcast.RingNative, "opt": bcast.RingOpt,
+		"binomial": bcast.Binomial, "smp": bcast.SMP, "smp-opt": bcast.SMPOpt,
+	}
+	switch {
+	case algo == "auto":
+		return []bcast.Option{bcast.Tuner(bcast.MPICH3Tuner(false))}, "auto (mpich3)", nil
+	case algo == "auto-opt":
+		return []bcast.Option{bcast.Tuner(bcast.MPICH3Tuner(true))}, "auto-opt (mpich3 tuned)", nil
+	case legacy[algo] != "":
+		return []bcast.Option{bcast.Algorithm(legacy[algo])}, legacy[algo], nil
+	default:
+		if _, ok := collective.Lookup(algo); ok {
+			return []bcast.Option{bcast.Algorithm(algo)}, algo, nil
+		}
+		return nil, "", fmt.Errorf("unknown algorithm %q (registry: %s)",
+			algo, strings.Join(collective.Names(), ", "))
+	}
+}
+
+// runPersistent benchmarks the serving fast path through the public
+// facade: per process count one cluster, per message size one Run that
+// resolves a persistent handle with BcastInit and drives -iters
+// Start/Wait rounds on it, timed on rank 0 between barriers. The
+// cluster — and the world it boots — is reused across every size, so
+// after the first row each printed bandwidth is pure steady state.
+func runPersistent(nps []int, o persistOpts) error {
+	sel, label, err := persistSelection(o.algo)
+	if o.table != "" {
+		sel, label, err = []bcast.Option{bcast.TuneTable(o.table)}, fmt.Sprintf("tune-table %q", o.table), nil
+	}
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for _, np := range nps {
+		opts := append([]bcast.Option{
+			bcast.Procs(np),
+			bcast.EagerLimit(o.eager),
+			bcast.Timeout(10 * time.Minute),
+		}, sel...)
+		if o.cores > 0 {
+			opts = append(opts, bcast.Placement(fmt.Sprintf("blocked:%d", o.cores)))
+		}
+		if o.seg > 0 {
+			opts = append(opts, bcast.SegSize(o.seg))
+		}
+		if o.exec == engine.Pooled {
+			opts = append(opts, bcast.ExecPooled(o.workers))
+		}
+		cl, err := bcast.NewCluster(ctx, opts...)
+		if err != nil {
+			return fmt.Errorf("np=%d: %w", np, err)
+		}
+		fmt.Printf("# persistent bcast benchmark: %s, np=%d, iters=%d, exec=%s\n",
+			label, np, o.iters, o.exec)
+		fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
+		for n := o.min; n <= o.max; n *= 2 {
+			var elapsed time.Duration
+			err := cl.Run(ctx, func(c bcast.Comm) error {
+				buf := make([]byte, n)
+				if c.Rank() == o.root {
+					for i := range buf {
+						buf[i] = byte(i)
+					}
+				}
+				ph, err := c.BcastInit(buf, o.root)
+				if err != nil {
+					return err
+				}
+				// One untimed round populates the pooled staging classes.
+				if err := ph.Run(ctx); err != nil {
+					return err
+				}
+				if err := c.Barrier(ctx); err != nil {
+					return err
+				}
+				start := time.Now()
+				for i := 0; i < o.iters; i++ {
+					if err := ph.Run(ctx); err != nil {
+						return err
+					}
+				}
+				if err := c.Barrier(ctx); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					elapsed = time.Since(start)
+				}
+				return ph.Free()
+			})
+			if err != nil {
+				return fmt.Errorf("np=%d size=%d: %w", np, n, err)
+			}
+			per := elapsed.Seconds() / float64(o.iters)
+			fmt.Printf("%-12d %14.2f %14.2f\n", n, per*1e6, float64(n)/per/(1<<20))
+			if n == 0 {
+				break
+			}
+		}
+	}
 	return nil
 }
 

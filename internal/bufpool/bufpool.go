@@ -71,8 +71,13 @@ func init() {
 }
 
 // class returns the pool index for a request of n elements, or -1 when
-// n exceeds the largest class.
+// n exceeds the largest class. Negative n panics here with a clear
+// message — without the check it would surface as a bare reslice panic
+// deep in Get, after handing out a pooled buffer it then leaks.
 func class(n int) int {
+	if n < 0 {
+		panic("bufpool: negative length request")
+	}
 	if n > 1<<maxShift {
 		return -1
 	}

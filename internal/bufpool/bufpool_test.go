@@ -32,6 +32,35 @@ func TestOversizeFallsBack(t *testing.T) {
 	b.Release() // must be a no-op, not a panic
 }
 
+func TestZeroLength(t *testing.T) {
+	b := Get(0)
+	if len(b.B) != 0 {
+		t.Fatalf("Get(0): len = %d", len(b.B))
+	}
+	b.Release()
+	f := GetF64(0)
+	if len(f.F) != 0 {
+		t.Fatalf("GetF64(0): len = %d", len(f.F))
+	}
+	f.Release()
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	for name, get := range map[string]func(){
+		"Get":    func() { Get(-1) },
+		"GetF64": func() { GetF64(-5) },
+	} {
+		func() {
+			defer func() {
+				if rec := recover(); rec == nil {
+					t.Errorf("%s with negative length must panic", name)
+				}
+			}()
+			get()
+		}()
+	}
+}
+
 func TestReuseRoundTrip(t *testing.T) {
 	b := Get(100)
 	for i := range b.B {

@@ -6,7 +6,10 @@ import (
 	"repro/internal/mpi"
 )
 
-// tagAlltoall marks pairwise-exchange all-to-all messages.
+// tagAlltoall is the base phase tag of pairwise-exchange all-to-all
+// messages; like every collective tag it is namespaced per operation by
+// the engine's tag streams (mpi.StreamTag), so overlapping Alltoalls on
+// one communicator cannot match each other's rounds.
 const tagAlltoall = 0x7F0B
 
 // Alltoall performs the complete exchange: rank i sends
@@ -29,8 +32,15 @@ func Alltoall(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
 	if len(recvBuf) < p*chunk {
 		return fmt.Errorf("collective: alltoall: recv buffer %d bytes < %d", len(recvBuf), p*chunk)
 	}
+	if chunk == 0 {
+		return nil
+	}
 	// Local chunk moves without communication.
 	copy(recvBuf[rank*chunk:(rank+1)*chunk], sendBuf[rank*chunk:(rank+1)*chunk])
+	if p == 1 {
+		return nil
+	}
+	mpi.AdvanceTagStream(c)
 
 	pow2 := p&(p-1) == 0
 	for k := 1; k < p; k++ {

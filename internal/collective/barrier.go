@@ -17,6 +17,7 @@ func Barrier(c mpi.Comm) error {
 	if p == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	for mask := 1; mask < p; mask <<= 1 {
 		dst := (rank + mask) % p
 		src := (rank - mask + p) % p

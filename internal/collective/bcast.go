@@ -25,6 +25,7 @@ func BcastBinomial(c mpi.Comm, buf []byte, root int) error {
 	if p == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	rel := core.RelRank(rank, root, p)
 
 	recvMask := core.CeilPow2(p)
@@ -151,6 +152,7 @@ func BcastScatterRingAllgather(c mpi.Comm, buf []byte, root int) error {
 	if c.Size() == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}
@@ -167,6 +169,7 @@ func BcastScatterRingAllgatherOpt(c mpi.Comm, buf []byte, root int) error {
 	if c.Size() == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}
@@ -208,6 +211,7 @@ func BcastScatterRdbAllgather(c mpi.Comm, buf []byte, root int) error {
 	if !core.IsPow2(p) {
 		return fmt.Errorf("collective: scatter-rdb-allgather requires a power-of-two communicator, got %d", p)
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}

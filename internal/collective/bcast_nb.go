@@ -23,6 +23,7 @@ func BcastScatterRingAllgatherOptNB(c mpi.Comm, buf []byte, root int) error {
 	if p == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}

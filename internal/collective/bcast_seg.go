@@ -90,6 +90,7 @@ func BcastScatterRingAllgatherSeg(c mpi.Comm, buf []byte, root, segSize int) err
 	if c.Size() == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}
@@ -107,6 +108,7 @@ func BcastScatterRingAllgatherOptSeg(c mpi.Comm, buf []byte, root, segSize int) 
 	if c.Size() == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}

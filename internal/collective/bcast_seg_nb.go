@@ -88,6 +88,7 @@ func BcastScatterRingAllgatherSegNB(c mpi.Comm, buf []byte, root, segSize int) e
 	if c.Size() == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}
@@ -105,6 +106,7 @@ func BcastScatterRingAllgatherOptSegNB(c mpi.Comm, buf []byte, root, segSize int
 	if c.Size() == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	if err := scatterForBcast(c, buf, root); err != nil {
 		return err
 	}

@@ -67,6 +67,9 @@ func BcastChain(c mpi.Comm, buf []byte, root int, segSize int) error {
 	if err := checkRoot(c, root); err != nil {
 		return err
 	}
+	if c.Size() > 1 {
+		mpi.AdvanceTagStream(c)
+	}
 	return ExecProgram(c, chainProgram(c.Size(), root, len(buf), segSize), buf)
 }
 

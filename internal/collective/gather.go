@@ -28,10 +28,17 @@ func Scatter(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) er
 	if rank == root && len(sendBuf) < p*chunk {
 		return fmt.Errorf("collective: scatter: send buffer %d bytes < %d", len(sendBuf), p*chunk)
 	}
+	if chunk == 0 {
+		// Nothing to move: skip the tree rather than threading zero-byte
+		// messages and zero-length pool scratch through it. Every rank
+		// sees the same chunk, so all take this path together.
+		return nil
+	}
 	if p == 1 {
 		copy(recvBuf[:chunk], sendBuf[:chunk])
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 
 	rel := core.RelRank(rank, root, p)
 	extent := core.Extent(rel, p)
@@ -104,10 +111,15 @@ func Gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) err
 	if rank == root && len(recvBuf) < p*chunk {
 		return fmt.Errorf("collective: gather: recv buffer %d bytes < %d", len(recvBuf), p*chunk)
 	}
+	if chunk == 0 {
+		// Mirror of Scatter's zero-chunk fast path.
+		return nil
+	}
 	if p == 1 {
 		copy(recvBuf[:chunk], sendBuf[:chunk])
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 
 	rel := core.RelRank(rank, root, p)
 	extent := core.Extent(rel, p)
@@ -172,10 +184,14 @@ func Allgather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
 	if len(recvBuf) < p*chunk {
 		return fmt.Errorf("collective: allgather: recv buffer %d bytes < %d", len(recvBuf), p*chunk)
 	}
+	if chunk == 0 {
+		return nil
+	}
 	copy(recvBuf[rank*chunk:(rank+1)*chunk], sendBuf[:chunk])
 	if p == 1 {
 		return nil
 	}
+	mpi.AdvanceTagStream(c)
 	left := (rank - 1 + p) % p
 	right := (rank + 1) % p
 	j, jnext := rank, left

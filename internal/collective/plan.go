@@ -1,0 +1,137 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/tune"
+)
+
+// Plan is a pre-resolved broadcast: the tuner decision, the registry
+// entry it names and (for static algorithms) the communication
+// schedule, all computed and validated once so repeated executions skip
+// selection entirely. It is the engine-side half of the facade's
+// persistent handles: Broadcast does envOf + Decide + Lookup + Caps
+// per call; a Plan does them at build time and Execute goes straight
+// to the registered implementation.
+//
+// A Plan belongs to one rank of one communicator group (every rank of
+// a persistent collective builds its own), is not safe for concurrent
+// use, and is pinned to the (byte count, root) it was built with until
+// Rebind.
+type Plan struct {
+	n    int
+	root int
+	opts Options
+	dec  tune.Decision
+	reg  Registration
+	prog *sched.Program // nil for schedule-less (Split-based) algorithms
+
+	// cache memoizes the tuner decision across Rebinds keyed on the full
+	// environment: double-buffered serving (two buffers, same length)
+	// re-resolves for free, while a length change genuinely re-decides.
+	cache tune.CachedDecision
+}
+
+// NewPlan resolves o against (c, n, root) and validates the outcome the
+// same way RunDecision would, so an Init-time Plan failure is exactly
+// the failure the equivalent Broadcast call would have produced — just
+// earlier, before anything is in flight.
+func NewPlan(c mpi.Comm, n, root int, o Options) (*Plan, error) {
+	if err := checkRoot(c, root); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("collective: plan: negative length %d", n)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{root: root, opts: o}
+	if err := p.resolve(c, n); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// resolve decides and validates for a byte count, caching the schedule
+// of static algorithms for introspection.
+func (p *Plan) resolve(c mpi.Comm, n int) error {
+	e := envOf(c, n)
+	d := p.cache.Get(e, p.opts.Decide)
+	r, ok := Lookup(d.Algorithm)
+	if !ok {
+		return fmt.Errorf("collective: plan: unknown algorithm %q (registered: %v)", d.Algorithm, Names())
+	}
+	if d.SegSize < 0 {
+		return fmt.Errorf("collective: plan: negative segment size %d for %q", d.SegSize, d.Algorithm)
+	}
+	if !r.Caps.Match(e) {
+		return fmt.Errorf("collective: plan: algorithm %q cannot run with %d bytes on %d ranks over %d node(s)",
+			d.Algorithm, e.Bytes, e.Procs, e.NumNodes)
+	}
+	var prog *sched.Program
+	if r.Program != nil {
+		pr, err := r.Program(c.Size(), p.root, n, d.SegSize)
+		if err != nil {
+			return fmt.Errorf("collective: plan: schedule for %q: %w", d.Algorithm, err)
+		}
+		prog = pr
+	}
+	p.n, p.dec, p.reg, p.prog = n, d, r, prog
+	return nil
+}
+
+// Rebind re-resolves the plan for a new byte count (a new buffer of the
+// same length is free: the memoized decision wins an equality check and
+// nothing else changes).
+func (p *Plan) Rebind(c mpi.Comm, n int) error {
+	if n == p.n {
+		return nil
+	}
+	if n < 0 {
+		return fmt.Errorf("collective: plan: negative length %d", n)
+	}
+	return p.resolve(c, n)
+}
+
+// SetOptions replaces the selection options and invalidates the
+// decision memo — an override must force a fresh decision even for an
+// unchanged environment.
+func (p *Plan) SetOptions(c mpi.Comm, o Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	p.opts = o
+	p.cache.Invalidate()
+	return p.resolve(c, p.n)
+}
+
+// Execute runs the planned broadcast on c. The buffer must have the
+// planned length (use Rebind for a different size). It dispatches
+// through the registration's Run — the exact code path Broadcast takes
+// after selection — so a plan execution is byte- and traffic-identical
+// to the equivalent per-call broadcast by construction (including the
+// overlap behavior of the nonblocking variants, which a generic
+// schedule interpreter would lose).
+func (p *Plan) Execute(c mpi.Comm, buf []byte) error {
+	if len(buf) != p.n {
+		return fmt.Errorf("collective: plan executed with %d bytes, built for %d (Rebind first)", len(buf), p.n)
+	}
+	return p.reg.Run(c, buf, p.root, p.dec.SegSize)
+}
+
+// Bytes returns the byte count the plan is currently bound to.
+func (p *Plan) Bytes() int { return p.n }
+
+// Root returns the broadcast root the plan was built for.
+func (p *Plan) Root() int { return p.root }
+
+// Decision returns the resolved tuner decision.
+func (p *Plan) Decision() tune.Decision { return p.dec }
+
+// Program returns the cached static schedule, or nil when the planned
+// algorithm's communication pattern depends on runtime communicator
+// state.
+func (p *Plan) Program() *sched.Program { return p.prog }

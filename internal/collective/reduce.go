@@ -89,6 +89,9 @@ func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
 	if rank == root && len(out) < len(in) {
 		return fmt.Errorf("collective: reduce: out %d < in %d", len(out), len(in))
 	}
+	if p > 1 {
+		mpi.AdvanceTagStream(c)
+	}
 	// All scratch — the accumulator, the decode staging and the wire
 	// buffer — is pooled, so steady-state reductions on a long-lived
 	// world allocate nothing here. Scratch is released only on the clean

@@ -57,9 +57,36 @@ type comm struct {
 }
 
 var (
-	_ mpi.Comm      = (*comm)(nil)
-	_ mpi.Contexter = (*comm)(nil)
+	_ mpi.Comm        = (*comm)(nil)
+	_ mpi.Contexter   = (*comm)(nil)
+	_ mpi.TagStreamer = (*comm)(nil)
 )
+
+// NextTagStream implements mpi.TagStreamer: it advances this rank's
+// collective tag stream for the communicator's context and returns the
+// new stream id. Collectives call it once on entry (all ranks in the
+// same order, per the MPI collective ordering rule), after which every
+// reserved-block tag the operation sends or receives is transparently
+// offset into that stream by streamTag — so two collectives in flight
+// on one communicator can never match each other's messages, even
+// though both were written against the same fixed phase-tag constants.
+func (c *comm) NextTagStream() int {
+	return c.w.eps[c.worldRank()].nextStream(c.ctx)
+}
+
+// streamTag maps a reserved-block collective tag onto the rank's
+// current stream for this context (user tags and wildcards pass through
+// unchanged). Both ends of a transfer translate with their own rank's
+// counter; counters advance only at collective entry, and each rank
+// issues all of collective N's operations before entering collective
+// N+1, so sender and receiver always agree on the stream of the
+// operation they are jointly executing.
+func (c *comm) streamTag(tag int) int {
+	if tag < mpi.CollTagBase || tag >= mpi.CollTagBase+mpi.TagStreamStride {
+		return tag
+	}
+	return mpi.StreamTag(tag, c.w.eps[c.worldRank()].stream(c.ctx))
+}
 
 // WithContext implements mpi.Contexter: it returns a view of this
 // communicator whose blocking operations additionally observe ctx. A
@@ -95,7 +122,7 @@ func (c *comm) Send(buf []byte, to, tag int) error {
 	if to == c.rank {
 		return fmt.Errorf("engine: send: %w: self-send unsupported (deadlocks a blocking rank)", mpi.ErrRank)
 	}
-	return c.w.send(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag, true, c.cancel)
+	return c.w.send(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, c.streamTag(tag), true, c.cancel)
 }
 
 func (c *comm) Recv(buf []byte, from, tag int) (mpi.Status, error) {
@@ -105,7 +132,7 @@ func (c *comm) Recv(buf []byte, from, tag int) (mpi.Status, error) {
 	if err := mpi.CheckTag(tag, true); err != nil {
 		return mpi.Status{}, fmt.Errorf("engine: recv: %w", err)
 	}
-	return c.w.recv(c.ctx, c.worldRank(), buf, from, tag, true, c.cancel)
+	return c.w.recv(c.ctx, c.worldRank(), buf, from, c.streamTag(tag), true, c.cancel)
 }
 
 func (c *comm) Sendrecv(sendBuf []byte, to, sendTag int, recvBuf []byte, from, recvTag int) (mpi.Status, error) {
@@ -131,8 +158,8 @@ func (c *comm) Sendrecv(sendBuf []byte, to, sendTag int, recvBuf []byte, from, r
 	// complete against it), start the send, and wait for both. No
 	// goroutine is needed: isend never blocks (large or credit-overflow
 	// payloads are parked as zero-copy envelopes the receiver pulls).
-	rreq := c.w.irecv(c.ctx, c.worldRank(), recvBuf, from, recvTag, c.cancel)
-	sreq := c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), sendBuf, sendTag, c.cancel)
+	rreq := c.w.irecv(c.ctx, c.worldRank(), recvBuf, from, c.streamTag(recvTag), c.cancel)
+	sreq := c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), sendBuf, c.streamTag(sendTag), c.cancel)
 	_, serr := sreq.Wait()
 	st, rerr := rreq.Wait()
 	putRequest(sreq) // Sendrecv is the sole holder of both requests
@@ -153,7 +180,7 @@ func (c *comm) Isend(buf []byte, to, tag int) (mpi.Request, error) {
 	if to == c.rank {
 		return nil, fmt.Errorf("engine: isend: %w: self-send unsupported", mpi.ErrRank)
 	}
-	return c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, tag, c.cancel), nil
+	return c.w.isend(c.ctx, c.rank, c.worldRank(), c.worldRankOf(to), buf, c.streamTag(tag), c.cancel), nil
 }
 
 func (c *comm) Irecv(buf []byte, from, tag int) (mpi.Request, error) {
@@ -163,7 +190,7 @@ func (c *comm) Irecv(buf []byte, from, tag int) (mpi.Request, error) {
 	if err := mpi.CheckTag(tag, true); err != nil {
 		return nil, fmt.Errorf("engine: irecv: %w", err)
 	}
-	return c.w.irecv(c.ctx, c.worldRank(), buf, from, tag, c.cancel), nil
+	return c.w.irecv(c.ctx, c.worldRank(), buf, from, c.streamTag(tag), c.cancel), nil
 }
 
 // Split partitions the communicator by color, ordering each new
@@ -303,6 +330,7 @@ func (c *comm) Iprobe(from, tag int) (mpi.Status, bool, error) {
 	if err := mpi.CheckTag(tag, true); err != nil {
 		return mpi.Status{}, false, fmt.Errorf("engine: iprobe: %w", err)
 	}
+	tag = c.streamTag(tag)
 	ep := c.w.eps[c.worldRank()]
 	ep.mu.Lock()
 	defer ep.mu.Unlock()

@@ -57,13 +57,40 @@ type endpoint struct {
 	// one per sender — a rank has at most one send in flight).
 	eagerBuffered map[int]int
 	creditWait    map[int]chan struct{}
+	// tagStreams holds this rank's current collective tag stream per
+	// communicator context (see mpi.StreamTag). It is touched only by the
+	// owning rank's goroutine during a run — every operation of a comm
+	// runs on its owner — and cleared by RunContext between runs (the
+	// executor handoff orders those accesses), so ep.mu is not needed.
+	tagStreams map[int64]int
 }
 
 func newEndpoint() *endpoint {
 	return &endpoint{
 		eagerBuffered: map[int]int{},
 		creditWait:    map[int]chan struct{}{},
+		tagStreams:    map[int64]int{},
 	}
+}
+
+// stream returns this rank's current collective tag stream for ctx.
+func (ep *endpoint) stream(ctx int64) int { return ep.tagStreams[ctx] }
+
+// nextStream advances the rank's collective tag stream for ctx and
+// returns the new stream id. Stream ids wrap at mpi.NumTagStreams; a
+// rank finishes (or at least issues every operation of) collective N on
+// a comm before entering collective N+1, so live collectives are never
+// a full wrap apart and wrapped ids cannot collide.
+func (ep *endpoint) nextStream(ctx int64) int {
+	s := (ep.tagStreams[ctx] + 1) % mpi.NumTagStreams
+	ep.tagStreams[ctx] = s
+	return s
+}
+
+// resetStreams clears all stream counters (between runs, so counters —
+// and the per-ctx map footprint from Split — don't grow across runs).
+func (ep *endpoint) resetStreams() {
+	clear(ep.tagStreams)
 }
 
 // releaseEagerCredit is called (with ep.mu held) after an eager envelope

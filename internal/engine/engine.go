@@ -276,14 +276,19 @@ func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 	default:
 	}
 	// Re-arm per-run state in place: rank states back to running, rank
-	// errors cleared. Endpoints need no reset — a clean previous run
-	// proved them drained, and context ids are world-monotonic so stale
-	// matching is impossible.
+	// errors cleared, collective tag-stream counters dropped (the comm
+	// contexts they key on are dead after the run; clearing also bounds
+	// the per-ctx map footprint Split accumulates). Endpoints need no
+	// other reset — a clean previous run proved them drained, and context
+	// ids are world-monotonic so stale matching is impossible.
 	for r := range w.state {
 		w.state[r].Store(0)
 	}
 	for r := range w.errs {
 		w.errs[r] = nil
+	}
+	for _, ep := range w.eps {
+		ep.resetStreams()
 	}
 	if ctx == nil {
 		ctx = context.Background()

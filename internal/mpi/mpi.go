@@ -43,6 +43,87 @@ const (
 // reserved for the collective algorithms (see internal/core).
 const MaxUserTag = 0x7EFF
 
+// The reserved collective tag space. Collective algorithms stamp each
+// message with a phase tag from the base block [CollTagBase,
+// CollTagBase+TagStreamStride); the engine then namespaces every
+// in-flight collective by offsetting those base tags into one of
+// NumTagStreams per-operation streams (stream s maps base tag t to
+// t + s*TagStreamStride). Streams are what let independent collectives
+// overlap on one communicator without their fixed phase tags colliding:
+// the Nth collective issued on a communicator matches only messages of
+// the Nth collective, never a straggler from the (N-1)th or an eager
+// early arrival from the (N+1)th.
+const (
+	// CollTagBase is the first reserved collective tag (MaxUserTag+1).
+	CollTagBase = MaxUserTag + 1
+	// TagStreamStride is the width of one tag stream: the number of
+	// distinct phase tags a single collective operation may use.
+	TagStreamStride = 0x40
+	// NumTagStreams is how many concurrent collective streams one
+	// communicator context distinguishes before stream ids wrap. Wrapping
+	// is safe far earlier than this: a rank has at most one blocking
+	// collective in flight per communicator, so two live collectives are
+	// never NumTagStreams apart.
+	NumTagStreams = 256
+	// MaxTag is the largest tag the engine will ever carry: the last tag
+	// of the last stream.
+	MaxTag = CollTagBase + NumTagStreams*TagStreamStride - 1
+)
+
+// StreamTag maps a base collective tag onto stream s. Tags outside the
+// base block (user tags, wildcards) are returned unchanged.
+func StreamTag(tag, s int) int {
+	if tag < CollTagBase || tag >= CollTagBase+TagStreamStride {
+		return tag
+	}
+	return tag + s*TagStreamStride
+}
+
+// BaseTag folds a streamed collective tag back to its base-block phase
+// tag (the inverse of StreamTag for any stream); tags outside the
+// reserved space are returned unchanged. Observability layers use it so
+// per-phase traffic breakdowns stay keyed by the stable phase tags.
+func BaseTag(tag int) int {
+	if tag < CollTagBase || tag > MaxTag {
+		return tag
+	}
+	return CollTagBase + (tag-CollTagBase)%TagStreamStride
+}
+
+// TagStreamer is the optional capability of communicators that
+// namespace collective operations into per-operation tag streams.
+// NextTagStream advances the communicator's stream counter and returns
+// the stream id the next collective should run under; every rank of the
+// communicator must call it in the same collective order (which the MPI
+// collective-call ordering rule already guarantees), so all ranks agree
+// on each operation's stream without communicating. Decorator
+// communicators forward the call to the communicator they wrap.
+type TagStreamer interface {
+	NextTagStream() int
+}
+
+// AdvanceTagStream moves c to the next collective tag stream when the
+// communicator supports streams, and is a no-op otherwise. Collective
+// implementations call it once on entry.
+func AdvanceTagStream(c Comm) {
+	if ts, ok := c.(TagStreamer); ok {
+		ts.NextTagStream()
+	}
+}
+
+// CheckUserTag validates a tag at the application boundary: user code
+// may use [0, MaxUserTag] (plus the AnyTag wildcard when any is true);
+// everything above is reserved for the collective streams.
+func CheckUserTag(tag int, any bool) error {
+	if any && tag == AnyTag {
+		return nil
+	}
+	if tag < 0 || tag > MaxUserTag {
+		return fmt.Errorf("%w: %d (user tags are 0..%#x; higher tags are reserved for collectives)", ErrTag, tag, MaxUserTag)
+	}
+	return nil
+}
+
 // Status describes a completed receive, like MPI_Status.
 type Status struct {
 	// Source is the rank that sent the message (resolved even for
@@ -183,13 +264,16 @@ func CheckPeer(rank, size int, any bool) error {
 	return nil
 }
 
-// CheckTag validates a tag, allowing the AnyTag wildcard when any is true.
+// CheckTag validates a tag, allowing the AnyTag wildcard when any is
+// true. The engine carries tags up to MaxTag: the user range plus the
+// reserved collective base block (which stream translation then offsets
+// within [CollTagBase, MaxTag]).
 func CheckTag(tag int, any bool) error {
 	if any && tag == AnyTag {
 		return nil
 	}
-	if tag < 0 {
-		return fmt.Errorf("%w: %d", ErrTag, tag)
+	if tag < 0 || tag > MaxTag {
+		return fmt.Errorf("%w: %d (valid tags are 0..%#x)", ErrTag, tag, MaxTag)
 	}
 	return nil
 }

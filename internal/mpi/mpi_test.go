@@ -44,6 +44,70 @@ func TestCheckTag(t *testing.T) {
 	}
 }
 
+func TestCheckTagUpperBound(t *testing.T) {
+	if err := CheckTag(MaxTag, false); err != nil {
+		t.Fatalf("MaxTag must be valid: %v", err)
+	}
+	if err := CheckTag(MaxTag+1, false); !errors.Is(err, ErrTag) {
+		t.Fatalf("want ErrTag above MaxTag, got %v", err)
+	}
+}
+
+func TestCheckUserTag(t *testing.T) {
+	if err := CheckUserTag(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckUserTag(MaxUserTag, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckUserTag(CollTagBase, false); !errors.Is(err, ErrTag) {
+		t.Fatalf("reserved tags must be rejected at the user boundary, got %v", err)
+	}
+	if err := CheckUserTag(-3, false); !errors.Is(err, ErrTag) {
+		t.Fatalf("want ErrTag, got %v", err)
+	}
+	if err := CheckUserTag(AnyTag, true); err != nil {
+		t.Fatalf("wildcard allowed: %v", err)
+	}
+	if err := CheckUserTag(AnyTag, false); !errors.Is(err, ErrTag) {
+		t.Fatalf("AnyTag without wildcard: %v", err)
+	}
+}
+
+func TestStreamAndBaseTag(t *testing.T) {
+	// Base-block tags move by whole strides; everything else passes
+	// through both directions.
+	base := CollTagBase + 0x0B
+	for _, s := range []int{0, 1, 7, NumTagStreams - 1} {
+		st := StreamTag(base, s)
+		if want := base + s*TagStreamStride; st != want {
+			t.Fatalf("StreamTag(%#x, %d) = %#x, want %#x", base, s, st, want)
+		}
+		if st > MaxTag {
+			t.Fatalf("streamed tag %#x exceeds MaxTag %#x", st, MaxTag)
+		}
+		if got := BaseTag(st); got != base {
+			t.Fatalf("BaseTag(StreamTag(%#x, %d)) = %#x", base, s, got)
+		}
+	}
+	for _, tag := range []int{0, 5, MaxUserTag, AnyTag, MaxTag + 1} {
+		if got := StreamTag(tag, 3); got != tag {
+			t.Fatalf("StreamTag(%d) must pass through, got %d", tag, got)
+		}
+		if got := BaseTag(tag); got != tag {
+			t.Fatalf("BaseTag(%d) must pass through, got %d", tag, got)
+		}
+	}
+	// Two distinct streams of one phase tag never collide, and distinct
+	// phase tags inside one stream never collide either.
+	if StreamTag(base, 1) == StreamTag(base, 2) {
+		t.Fatal("streams must not collide")
+	}
+	if StreamTag(CollTagBase+1, 1) == StreamTag(CollTagBase+2, 1) {
+		t.Fatal("phase tags within a stream must stay distinct")
+	}
+}
+
 func TestSentinelsDistinct(t *testing.T) {
 	if AnySource == AnyTag || AnySource == Undefined || AnyTag == Undefined {
 		t.Fatal("sentinel values must be distinct")

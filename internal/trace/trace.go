@@ -175,6 +175,20 @@ type tracedComm struct {
 
 var _ mpi.Comm = (*tracedComm)(nil)
 
+// NextTagStream implements mpi.TagStreamer by forwarding to the wrapped
+// communicator when it supports tag streams — a decorator must not
+// swallow the capability, or collectives running through a traced comm
+// would stop isolating from each other. (The engine translates reserved
+// tags internally, so the tags recorded here remain the stable base
+// phase tags regardless of stream.) Without the capability underneath,
+// everything stays on stream 0.
+func (t *tracedComm) NextTagStream() int {
+	if ts, ok := t.inner.(mpi.TagStreamer); ok {
+		return ts.NextTagStream()
+	}
+	return 0
+}
+
 func (t *tracedComm) Rank() int               { return t.inner.Rank() }
 func (t *tracedComm) Size() int               { return t.inner.Size() }
 func (t *tracedComm) Topology() *topology.Map { return t.inner.Topology() }

@@ -1,0 +1,32 @@
+package tune
+
+// CachedDecision memoizes a single tuner decision keyed on the full
+// selection environment. Serving workloads resolve the same Env for
+// millions of operations; Env is a comparable value, so the cache is
+// one struct equality check on the hit path — no map, no allocation,
+// no lock (a CachedDecision belongs to one handle on one rank).
+//
+// The memo must be dropped (Invalidate) whenever something that feeds
+// the decision besides the Env changes — a re-pinned algorithm, a
+// swapped tuner, a segment-size override — otherwise the stale decision
+// keeps winning the equality check forever.
+type CachedDecision struct {
+	env   Env
+	dec   Decision
+	valid bool
+}
+
+// Get returns the memoized decision when e matches the cached
+// environment, and otherwise computes it with decide and caches it.
+func (c *CachedDecision) Get(e Env, decide func(Env) Decision) Decision {
+	if c.valid && c.env == e {
+		return c.dec
+	}
+	c.env = e
+	c.dec = decide(e)
+	c.valid = true
+	return c.dec
+}
+
+// Invalidate drops the memo; the next Get recomputes.
+func (c *CachedDecision) Invalidate() { c.valid = false }
