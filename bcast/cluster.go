@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/tune"
@@ -69,6 +70,15 @@ type Cluster struct {
 	// the next Run boots. boots counts world boots for observability.
 	world *engine.World
 	boots int
+
+	// metrics is the cluster-lifetime instrumentation, handed to every
+	// world the cluster boots so counters and spans survive fallback
+	// reboots. runs/failedRuns/retired are the facade-level lifecycle
+	// counts Metrics folds into the Snapshot.
+	metrics    *metrics.Metrics
+	runs       int64
+	failedRuns int64
+	retired    map[string]int64
 }
 
 // NewCluster validates the options and returns a Cluster bound to ctx:
@@ -107,6 +117,7 @@ func NewCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
 		timeout: cfg.timeout,
 		exec:    cfg.exec,
 		workers: cfg.workers,
+		metrics: metrics.New(cfg.np, cfg.spanCap),
 	}
 	if cfg.traffic {
 		cl.collector = trace.NewCollector()
@@ -178,6 +189,7 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 			Timeout:    cl.timeout,
 			Executor:   cl.exec,
 			MaxWorkers: cl.workers,
+			Metrics:    cl.metrics,
 		})
 		if err != nil {
 			return fmt.Errorf("bcast: %w", err)
@@ -186,6 +198,7 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 		cl.boots++
 	}
 	epoch := &runEpoch{}
+	cl.runs++
 	err := w.RunContext(ctx, func(mc mpiComm) error {
 		if cl.collector != nil {
 			// Per-rank recorder slots keep the collector's memory
@@ -204,6 +217,11 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 		// world may hold wedged state; retire it rather than reason
 		// about partial cleanup.
 		cl.world = nil
+		cl.failedRuns++
+		if cl.retired == nil {
+			cl.retired = map[string]int64{}
+		}
+		cl.retired[retireCause(err)]++
 	}
 	return err
 }

@@ -122,4 +122,21 @@
 // Cluster.Traffic reports the totals. Comparing the inter-node bytes of
 // Algorithm(RingNative) against Algorithm(RingOpt) reproduces the
 // paper's bandwidth saving as a measurement, not a claim.
+//
+// Engine counters are always on: every cluster counts sends and
+// receives by protocol (eager versus rendezvous), staged bytes,
+// executor parks and slot waits, queue high-water marks, world boots
+// and failed runs by cause — each event one atomic add on the rank
+// that caused it, nothing shared, nothing allocated. Cluster.Metrics
+// merges them into a Snapshot whose String, WriteProm and
+// WriteChromeTrace methods render a human summary, the Prometheus text
+// format, and a Chrome/Perfetto timeline respectively.
+//
+// Operation spans are the opt-in half: WithSpans(n) gives every rank a
+// fixed n-entry ring that records each completed collective —
+// operation, algorithm, segment size, bytes, start, duration — and
+// drops the oldest entry when full (the Snapshot counts the drops).
+// Recording is allocation-free, so the zero-alloc steady-state
+// guarantees hold unchanged with spans on; the alloc gates run with
+// spans enabled to keep that true.
 package bcast

@@ -23,6 +23,7 @@ type config struct {
 	traffic   bool
 	exec      engine.ExecPolicy
 	workers   int
+	spanCap   int
 }
 
 // Option configures a Cluster. Options are applied in order by
@@ -188,6 +189,24 @@ func ExecPooled(workers int) Option {
 func TraceTraffic() Option {
 	return func(c *config) error {
 		c.traffic = true
+		return nil
+	}
+}
+
+// WithSpans enables operation spans: every collective a rank completes
+// is recorded — operation, algorithm, segment size, byte count, start
+// and duration — into a fixed per-rank ring of n entries that drops the
+// oldest span when full (the Snapshot reports how many were dropped).
+// Recording is allocation-free, so the steady-state guarantees hold
+// with spans on. Cluster.Metrics returns the retained spans;
+// Snapshot.WriteChromeTrace renders them as a Chrome/Perfetto timeline.
+// Counters need no option — they are always on.
+func WithSpans(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("bcast: WithSpans needs a positive per-rank capacity, got %d", n)
+		}
+		c.spanCap = n
 		return nil
 	}
 }

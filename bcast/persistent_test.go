@@ -168,7 +168,9 @@ func TestPersistentParityGrid(t *testing.T) {
 // package's alloc harness — only rank 0 talks to the host and relays the
 // round through a persistent control broadcast, so pooled ranks block
 // exclusively inside engine operations — but every measured operation
-// here runs through the public Persistent handle.
+// here runs through the public Persistent handle. The cluster runs with
+// span recording enabled (and counters are always on), so the budget
+// also proves the observability layer's zero-allocation claim.
 func TestPersistentStartWaitAllocs(t *testing.T) {
 	if testutil.RaceEnabled {
 		t.Skip("allocation counts are inflated under -race")
@@ -191,6 +193,9 @@ func TestPersistentStartWaitAllocs(t *testing.T) {
 				bcast.Procs(np),
 				bcast.Placement("single"),
 				bcast.Timeout(10 * time.Minute),
+				// Small on purpose: the measured rounds wrap the ring many
+				// times over, so the gate also covers drop-oldest overwrites.
+				bcast.WithSpans(16),
 			}
 			if pooled {
 				opts = append(opts, bcast.ExecPooled(0))
@@ -281,6 +286,19 @@ func TestPersistentStartWaitAllocs(t *testing.T) {
 				if bufs[r][0] != 0xAB || bufs[r][n-1] != 0xCD {
 					t.Fatalf("rank %d: payload not broadcast", r)
 				}
+			}
+			// The measured rounds must have exercised the full span
+			// machinery: recording, retention bounded by the ring size,
+			// and drop-oldest wraparound.
+			m := cl.Metrics()
+			if m.SpansRecorded == 0 {
+				t.Error("no spans recorded with WithSpans enabled")
+			}
+			if got, max := len(m.Spans), 16*np; got > max {
+				t.Errorf("retained %d spans, ring capacity bounds it at %d", got, max)
+			}
+			if m.SpanDrops == 0 {
+				t.Error("rings never wrapped: the gate did not cover drop-oldest overwrites")
 			}
 		})
 	}

@@ -138,6 +138,23 @@ func TestClusterReuseParity(t *testing.T) {
 				t.Errorf("traced traffic after %d reused runs = %+v, want %d x fresh run = %+v",
 					runs, reusedTraffic, runs, want)
 			}
+
+			// Clean runs deliver every sent message: the traced receive
+			// count must equal the send count, on both clusters, through
+			// the metrics snapshot (the one surface that exposes Recvs).
+			for _, c := range []struct {
+				label string
+				cl    *bcast.Cluster
+			}{{"fresh", fresh}, {"reused", reused}} {
+				tr := c.cl.Metrics().Traffic
+				if tr == nil {
+					t.Fatalf("%s cluster: snapshot has no traffic", c.label)
+				}
+				if tr.Recvs != tr.Messages {
+					t.Errorf("%s cluster: traced recvs=%d != messages=%d after clean runs",
+						c.label, tr.Recvs, tr.Messages)
+				}
+			}
 		})
 	}
 }

@@ -51,6 +51,19 @@
 //	bcastbench -exec pooled -np 256 -autotune -placements blocked:32
 //
 // Every table and report records the substrate in its provenance.
+//
+// Observability (benchmark and -persistent modes): -metrics prints the
+// engine's counter snapshot after the sweep — sends and receives split
+// by eager/rendezvous protocol, staged bytes, buffer-pool activity per
+// size class, executor parks and slot waits, queue high-water marks.
+// -timeline writes the per-operation spans as a Chrome trace-event JSON
+// file (open it in Perfetto or chrome://tracing; one timeline row per
+// rank), -spans sizes the per-rank span ring it records into, and
+// -spans-summary reads such a file back and prints per-operation
+// latency percentiles without re-running anything:
+//
+//	bcastbench -np 64 -exec pooled -algo binomial -metrics -timeline trace.json
+//	bcastbench -spans-summary trace.json
 package main
 
 import (
@@ -67,6 +80,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/measure"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/tune"
 )
@@ -85,8 +99,13 @@ func main() {
 		eagerFlag = flag.Int("eager", 0, "eager limit override in bytes (0 = default, -1 = rendezvous only)")
 		rootFlag  = flag.Int("root", 0, "broadcast root")
 		persFlag  = flag.Bool("persistent", false, "benchmark the persistent fast path: one BcastInit per size, -iters Start/Wait rounds on a live cluster (benchmark mode only)")
-		execFlag  = flag.String("exec", "goroutine", "rank-execution substrate: goroutine (one goroutine per rank) | pooled (bounded cooperative worker pool; use for -np in the hundreds)")
-		workFlag  = flag.Int("workers", 0, "pooled executor worker count, clamped to GOMAXPROCS (0 = GOMAXPROCS; requires -exec pooled)")
+
+		metricsFlag = flag.Bool("metrics", false, "print the engine metrics snapshot after the sweep (benchmark modes only)")
+		tlFlag      = flag.String("timeline", "", "write operation spans as Chrome trace-event JSON to this file (benchmark modes only; needs a single -np)")
+		spansFlag   = flag.Int("spans", 0, "per-rank span ring capacity (0 = 4096 when -timeline is set, else spans off)")
+		summaryFlag = flag.String("spans-summary", "", "read a -timeline file and print per-operation latency percentiles, then exit")
+		execFlag    = flag.String("exec", "goroutine", "rank-execution substrate: goroutine (one goroutine per rank) | pooled (bounded cooperative worker pool; use for -np in the hundreds)")
+		workFlag    = flag.Int("workers", 0, "pooled executor worker count, clamped to GOMAXPROCS (0 = GOMAXPROCS; requires -exec pooled)")
 
 		autotuneFlag = flag.Bool("autotune", false, "auto-tune over the registry on the real engine and emit a JSON tuning table")
 		crossFlag    = flag.Bool("crosscheck", false, "derive tables from both netsim and the engine over the same grid and report per-cell agreement")
@@ -106,6 +125,14 @@ func main() {
 		fmt.Println("# registered broadcast algorithms:")
 		for _, r := range collective.Algorithms() {
 			fmt.Printf("%-34s %-30s %s\n", r.Name, r.Caps.Label(), r.Summary)
+		}
+		return
+	}
+	if *summaryFlag != "" {
+		// Like -list, a pure offline mode: nothing runs.
+		if err := printSpansSummary(*summaryFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -179,9 +206,14 @@ func main() {
 		// -iters vs -reps, -tune-table vs the emitted -o).
 		for from, to := range map[string]string{
 			"seg": "-segs", "cores": "-placements", "iters": "-reps", "tune-table": "-o", "algo": "-candidates",
+			"metrics": "", "timeline": "", "spans": "",
 		} {
 			if set[from] {
-				fmt.Fprintf(os.Stderr, "bcastbench: -%s is benchmark-only; tuning modes use %s\n", from, to)
+				hint := ""
+				if to != "" {
+					hint = fmt.Sprintf("; tuning modes use %s", to)
+				}
+				fmt.Fprintf(os.Stderr, "bcastbench: -%s is benchmark-only%s\n", from, hint)
 				os.Exit(2)
 			}
 		}
@@ -227,12 +259,30 @@ func main() {
 		return
 	}
 
+	// Span rings are sized per rank; -timeline turns them on implicitly.
+	// The trace file holds one run's spans, so it needs a single -np.
+	spanCap := *spansFlag
+	if spanCap < 0 {
+		fmt.Fprintf(os.Stderr, "bcastbench: -spans must be non-negative, got %d\n", spanCap)
+		os.Exit(2)
+	}
+	if *tlFlag != "" {
+		if len(nps) != 1 {
+			fmt.Fprintln(os.Stderr, "bcastbench: -timeline needs a single -np (one trace file per run)")
+			os.Exit(2)
+		}
+		if spanCap == 0 {
+			spanCap = 4096
+		}
+	}
+
 	if *persFlag {
 		if err := runPersistent(nps, persistOpts{
 			algo: *algoFlag, table: *tableFlag, seg: *segFlag,
 			min: *minFlag, max: *maxFlag, iters: *itersFlag,
 			cores: *coresFlag, eager: *eagerFlag, root: *rootFlag,
 			exec: execPol, workers: *workFlag,
+			spanCap: spanCap, metrics: *metricsFlag, timeline: *tlFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
 			os.Exit(1)
@@ -273,6 +323,10 @@ func main() {
 	}
 	for _, np := range nps {
 		cfg.NP = np
+		// One Metrics per rank count: every measurement world of this
+		// section boots against it, so the snapshot spans the whole sweep.
+		mx := metrics.New(np, spanCap)
+		cfg.Metrics = mx
 		fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d, exec=%s\n", label, np, *itersFlag, cfg.ExecLabel())
 		fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
 		for n := *minFlag; n <= *maxFlag; n *= 2 {
@@ -286,7 +340,60 @@ func main() {
 				break
 			}
 		}
+		if err := report(engineSnapshot(mx, cfg.ExecLabel()), *metricsFlag, *tlFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// engineSnapshot merges a benchmark run's Metrics and stamps the
+// executor label the way the facade's Cluster.Metrics does.
+func engineSnapshot(mx *metrics.Metrics, execLabel string) metrics.Snapshot {
+	s := engine.CollectMetrics(mx)
+	s.Executor = execLabel
+	return s
+}
+
+// report prints the snapshot and/or writes the Chrome trace, as asked.
+func report(s metrics.Snapshot, print bool, timeline string) error {
+	if print {
+		fmt.Println(s.String())
+	}
+	if timeline == "" {
+		return nil
+	}
+	f, err := os.Create(timeline)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", timeline, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("# %d spans written to %s (open in Perfetto or chrome://tracing)\n", len(s.Spans), timeline)
+	return nil
+}
+
+// printSpansSummary is the offline -spans-summary mode: it loads a
+// Chrome trace written by -timeline and prints per-operation latency
+// percentiles.
+func printSpansSummary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := metrics.LoadChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("# span summary of %s (%d spans):\n", path, len(spans))
+	fmt.Print(metrics.SummarizeSpans(spans))
+	return nil
 }
 
 // tuningOpts bundles the -autotune/-crosscheck options.
@@ -419,6 +526,9 @@ type persistOpts struct {
 	eager, root int
 	exec        engine.ExecPolicy
 	workers     int
+	spanCap     int
+	metrics     bool
+	timeline    string
 }
 
 // persistSelection maps the -algo spelling onto facade cluster options
@@ -475,6 +585,9 @@ func runPersistent(nps []int, o persistOpts) error {
 		if o.exec == engine.Pooled {
 			opts = append(opts, bcast.ExecPooled(o.workers))
 		}
+		if o.spanCap > 0 {
+			opts = append(opts, bcast.WithSpans(o.spanCap))
+		}
 		cl, err := bcast.NewCluster(ctx, opts...)
 		if err != nil {
 			return fmt.Errorf("np=%d: %w", np, err)
@@ -524,6 +637,9 @@ func runPersistent(nps []int, o persistOpts) error {
 			if n == 0 {
 				break
 			}
+		}
+		if err := report(cl.Metrics(), o.metrics, o.timeline); err != nil {
+			return err
 		}
 	}
 	return nil

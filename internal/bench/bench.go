@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sched"
@@ -195,6 +196,11 @@ type RealConfig struct {
 	// engine.Options.
 	Executor   engine.ExecPolicy
 	MaxWorkers int
+	// Metrics, when non-nil, instruments the measurement worlds (it must
+	// be sized for NP ranks; build it with span capacity to record
+	// operation spans). Nil worlds still count into a private Metrics —
+	// the engine's counters are always on — it is just unreadable here.
+	Metrics *metrics.Metrics
 }
 
 // ExecLabel names the configured rank-execution substrate for the
@@ -227,10 +233,39 @@ func (cfg RealConfig) bcastFn() (func(c mpi.Comm, buf []byte, root int) error, e
 			return collective.Broadcast(c, buf, root, o)
 		}, nil
 	default:
+		if o, ok := cfg.Variant.options(); ok {
+			return func(c mpi.Comm, buf []byte, root int) error {
+				return collective.Broadcast(c, buf, root, o)
+			}, nil
+		}
 		if fn := cfg.Variant.fn(); fn != nil {
 			return fn, nil
 		}
 		return nil, fmt.Errorf("bench: bad variant %v", cfg.Variant)
+	}
+}
+
+// options maps the variants that name a registry algorithm (or the
+// default tuner) onto collective.Options, so their measurements dispatch
+// through the module's one selection path and emit operation spans like
+// any facade broadcast. The SMP variants are excluded on purpose: their
+// registrations are capability-gated to multi-node topologies, while the
+// direct entry points serve single-node runs with a binomial fallback —
+// pinning them here would turn that fallback into an error.
+func (v Variant) options() (collective.Options, bool) {
+	switch v {
+	case Native:
+		return collective.Options{Algorithm: tune.RingNative}, true
+	case Opt:
+		return collective.Options{Algorithm: tune.RingOpt}, true
+	case Binomial:
+		return collective.Options{Algorithm: tune.Binomial}, true
+	case AutoNative:
+		return collective.Options{}, true
+	case AutoOpt:
+		return collective.Options{Tuner: tune.MPICH3{Tuned: true}}, true
+	default:
+		return collective.Options{}, false
 	}
 }
 
@@ -260,6 +295,7 @@ func MeasureReal(cfg RealConfig, n int) (Result, error) {
 		Timeout:    10 * time.Minute,
 		Executor:   cfg.Executor,
 		MaxWorkers: cfg.MaxWorkers,
+		Metrics:    cfg.Metrics,
 	}, func(c mpi.Comm) error {
 		buf := make([]byte, n)
 		if c.Rank() == cfg.Root {

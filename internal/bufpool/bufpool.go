@@ -26,6 +26,7 @@ package bufpool
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Size classes are powers of two from 1<<minShift to 1<<maxShift
@@ -40,32 +41,77 @@ const (
 // Buf is a pooled byte buffer. B has exactly the requested length; its
 // capacity is the size class.
 type Buf struct {
-	B    []byte
-	pool *sync.Pool
+	B     []byte
+	pool  *sync.Pool
+	stats *classCounters
 }
 
 // F64 is a pooled float64 buffer. F has exactly the requested length.
 type F64 struct {
-	F    []float64
-	pool *sync.Pool
+	F     []float64
+	pool  *sync.Pool
+	stats *classCounters
 }
 
 var bytePools [maxShift - minShift + 1]sync.Pool
 var f64Pools [maxShift - minShift + 1]sync.Pool
 
+// classCounters tracks one size class's lifetime activity (byte and
+// float64 pools of the same class share a row — both serve the same
+// collective scratch traffic). A miss is a Get the pool served by
+// allocating (its New ran); hits are gets - misses. The counters are
+// process-global like the pools themselves, atomic so the hot path
+// stays lock- and allocation-free.
+type classCounters struct {
+	gets, puts, misses atomic.Int64
+}
+
+var classStats [maxShift - minShift + 1]classCounters
+
+// Oversize requests bypass the pools entirely: Get falls back to a
+// plain allocation and Release drops the buffer.
+var oversizeGets, oversizePuts atomic.Int64
+
+// ClassStats is one size class's activity for Stats.
+type ClassStats struct {
+	Size   int // class capacity (bytes, or elements for float64 buffers)
+	Gets   int64
+	Puts   int64
+	Misses int64
+}
+
+// Stats reports per-class gets/puts/misses for every class with any
+// activity, plus the oversize fallback totals. The counts are
+// process-global and monotonic.
+func Stats() (classes []ClassStats, oGets, oPuts int64) {
+	for i := range classStats {
+		c := &classStats[i]
+		g, p, m := c.gets.Load(), c.puts.Load(), c.misses.Load()
+		if g == 0 && p == 0 && m == 0 {
+			continue
+		}
+		classes = append(classes, ClassStats{Size: 1 << (minShift + i), Gets: g, Puts: p, Misses: m})
+	}
+	return classes, oversizeGets.Load(), oversizePuts.Load()
+}
+
 func init() {
 	for i := range bytePools {
 		shift := minShift + i
 		pool := &bytePools[i]
+		stats := &classStats[i]
 		pool.New = func() any {
-			return &Buf{B: make([]byte, 1<<shift), pool: pool}
+			stats.misses.Add(1)
+			return &Buf{B: make([]byte, 1<<shift), pool: pool, stats: stats}
 		}
 	}
 	for i := range f64Pools {
 		shift := minShift + i
 		pool := &f64Pools[i]
+		stats := &classStats[i]
 		pool.New = func() any {
-			return &F64{F: make([]float64, 1<<shift), pool: pool}
+			stats.misses.Add(1)
+			return &F64{F: make([]float64, 1<<shift), pool: pool, stats: stats}
 		}
 	}
 }
@@ -93,8 +139,10 @@ func class(n int) int {
 func Get(n int) *Buf {
 	c := class(n)
 	if c < 0 {
+		oversizeGets.Add(1)
 		return &Buf{B: make([]byte, n)}
 	}
+	classStats[c].gets.Add(1)
 	b := bytePools[c].Get().(*Buf)
 	b.B = b.B[:cap(b.B)][:n]
 	return b
@@ -102,9 +150,14 @@ func Get(n int) *Buf {
 
 // Release returns b to its pool. b must not be used afterwards.
 func (b *Buf) Release() {
-	if b == nil || b.pool == nil {
+	if b == nil {
 		return
 	}
+	if b.pool == nil {
+		oversizePuts.Add(1)
+		return
+	}
+	b.stats.puts.Add(1)
 	b.pool.Put(b)
 }
 
@@ -113,8 +166,10 @@ func (b *Buf) Release() {
 func GetF64(n int) *F64 {
 	c := class(n)
 	if c < 0 {
+		oversizeGets.Add(1)
 		return &F64{F: make([]float64, n)}
 	}
+	classStats[c].gets.Add(1)
 	f := f64Pools[c].Get().(*F64)
 	f.F = f.F[:cap(f.F)][:n]
 	return f
@@ -122,8 +177,13 @@ func GetF64(n int) *F64 {
 
 // Release returns f to its pool. f must not be used afterwards.
 func (f *F64) Release() {
-	if f == nil || f.pool == nil {
+	if f == nil {
 		return
 	}
+	if f.pool == nil {
+		oversizePuts.Add(1)
+		return
+	}
+	f.stats.puts.Add(1)
 	f.pool.Put(f)
 }

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/testutil"
+	"repro/internal/tune"
 )
 
 // allocHarness drives broadcasts through one long-lived world so a
@@ -27,7 +29,7 @@ type allocHarness struct {
 	runDone chan error
 }
 
-func startAllocHarness(t *testing.T, np int, exec engine.ExecPolicy, sizes []int, bcast func(c mpi.Comm, buf []byte) error) *allocHarness {
+func startAllocHarness(t *testing.T, np int, exec engine.ExecPolicy, mx *metrics.Metrics, sizes []int, bcast func(c mpi.Comm, buf []byte) error) *allocHarness {
 	t.Helper()
 	h := &allocHarness{
 		np:      np,
@@ -50,6 +52,7 @@ func startAllocHarness(t *testing.T, np int, exec engine.ExecPolicy, sizes []int
 	w, err := engine.NewWorld(engine.Options{
 		NP:       np,
 		Executor: exec,
+		Metrics:  mx,
 		// The world stays up for the whole measurement; keep the
 		// wall-clock watchdog out of the way.
 		Timeout: 10 * time.Minute,
@@ -130,48 +133,70 @@ func TestBcastOptSegSteadyStateAllocs(t *testing.T) {
 	)
 	sizes := []int{4 << 10, 64 << 10, 1 << 20}
 
+	// The grid's second axis proves the observability layer free: the
+	// "spans" cells dispatch through the selection path (Broadcast) with
+	// span recording on, and must meet the exact same budgets as the
+	// direct-call cells. Counters are always on in both.
 	for _, exec := range []engine.ExecPolicy{engine.Goroutine, engine.Pooled} {
-		t.Run(exec.String(), func(t *testing.T) {
-			h := startAllocHarness(t, np, exec, sizes, func(c mpi.Comm, buf []byte) error {
+		for _, spans := range []bool{false, true} {
+			name := exec.String()
+			bcastFn := func(c mpi.Comm, buf []byte) error {
 				return BcastScatterRingAllgatherOptSeg(c, buf, 0, segSize)
-			})
-			defer h.stop(t)
-
-			// Warm the pools: the first broadcast at each size populates
-			// the size classes the steady state reuses.
-			for i := range sizes {
-				if err := h.round(i); err != nil {
-					t.Fatal(err)
+			}
+			var mx *metrics.Metrics
+			if spans {
+				name += "/spans"
+				mx = metrics.New(np, 256)
+				o := Options{Algorithm: tune.RingOptSeg, SegSize: segSize}
+				bcastFn = func(c mpi.Comm, buf []byte) error {
+					return Broadcast(c, buf, 0, o)
 				}
 			}
+			t.Run(name, func(t *testing.T) {
+				h := startAllocHarness(t, np, exec, mx, sizes, bcastFn)
+				defer h.stop(t)
 
-			got := make([]float64, len(sizes))
-			for i, n := range sizes {
-				i := i
-				got[i] = testing.AllocsPerRun(20, func() {
+				// Warm the pools: the first broadcast at each size populates
+				// the size classes the steady state reuses.
+				for i := range sizes {
 					if err := h.round(i); err != nil {
 						t.Fatal(err)
 					}
-				})
-				t.Logf("size=%-8d allocs/broadcast=%.1f", n, got[i])
-			}
-			for i, n := range sizes {
-				if got[i] > perRoundBudget {
-					t.Errorf("size %d: %.1f allocs per broadcast round, budget %.0f", n, got[i], perRoundBudget)
 				}
-			}
-			if d := got[len(sizes)-1] - got[0]; d > flatSlack {
-				t.Errorf("allocs not flat across sizes: %.1f more at %d B than at %d B (slack %.0f)",
-					d, sizes[len(sizes)-1], sizes[0], flatSlack)
-			}
-			// Spot-check the payload actually traveled.
-			for i, n := range sizes {
-				for r := 1; r < np; r++ {
-					if h.bufs[i][r][0] != 0xAB || h.bufs[i][r][n-1] != 0xCD {
-						t.Fatalf("size %d rank %d: payload not broadcast", n, r)
+
+				got := make([]float64, len(sizes))
+				for i, n := range sizes {
+					i := i
+					got[i] = testing.AllocsPerRun(20, func() {
+						if err := h.round(i); err != nil {
+							t.Fatal(err)
+						}
+					})
+					t.Logf("size=%-8d allocs/broadcast=%.1f", n, got[i])
+				}
+				for i, n := range sizes {
+					if got[i] > perRoundBudget {
+						t.Errorf("size %d: %.1f allocs per broadcast round, budget %.0f", n, got[i], perRoundBudget)
 					}
 				}
-			}
-		})
+				if d := got[len(sizes)-1] - got[0]; d > flatSlack {
+					t.Errorf("allocs not flat across sizes: %.1f more at %d B than at %d B (slack %.0f)",
+						d, sizes[len(sizes)-1], sizes[0], flatSlack)
+				}
+				// Spot-check the payload actually traveled.
+				for i, n := range sizes {
+					for r := 1; r < np; r++ {
+						if h.bufs[i][r][0] != 0xAB || h.bufs[i][r][n-1] != 0xCD {
+							t.Fatalf("size %d rank %d: payload not broadcast", n, r)
+						}
+					}
+				}
+				if mx != nil {
+					if rec := mx.Snapshot().SpansRecorded; rec == 0 {
+						t.Error("spans cell recorded no spans")
+					}
+				}
+			})
+		}
 	}
 }

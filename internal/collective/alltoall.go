@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mpi"
 )
@@ -22,6 +23,17 @@ const tagAlltoall = 0x7F0B
 // is a single Sendrecv, so the network sees at most one message per rank
 // per round.
 func Alltoall(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
+	ring, start := spanStart(c)
+	if err := alltoall(c, sendBuf, chunk, recvBuf); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opAlltoall, "", 0, c.Size()*chunk, start, time.Since(start))
+	}
+	return nil
+}
+
+func alltoall(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
 	p, rank := c.Size(), c.Rank()
 	if chunk < 0 {
 		return fmt.Errorf("collective: alltoall: negative chunk %d", chunk)

@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
@@ -13,6 +14,17 @@ import (
 // of Section V ("all processes are synchronized with a MPI barrier before
 // reaching the broadcast interface") uses it.
 func Barrier(c mpi.Comm) error {
+	ring, start := spanStart(c)
+	if err := barrier(c); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opBarrier, "", 0, 0, start, time.Since(start))
+	}
+	return nil
+}
+
+func barrier(c mpi.Comm) error {
 	p, rank := c.Size(), c.Rank()
 	if p == 1 {
 		return nil

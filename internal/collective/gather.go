@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/core"
@@ -15,6 +16,17 @@ import (
 // their whole subtree block into a temporary buffer and forward
 // sub-blocks downward, so the root is not a serial bottleneck.
 func Scatter(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) error {
+	ring, start := spanStart(c)
+	if err := scatter(c, sendBuf, chunk, recvBuf, root); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opScatter, "", 0, c.Size()*chunk, start, time.Since(start))
+	}
+	return nil
+}
+
+func scatter(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) error {
 	if err := checkRoot(c, root); err != nil {
 		return err
 	}
@@ -98,6 +110,17 @@ func Scatter(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) er
 // It is the mirror of Scatter: leaves send up the binomial tree, interior
 // ranks assemble their subtree block before forwarding.
 func Gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) error {
+	ring, start := spanStart(c)
+	if err := gather(c, sendBuf, chunk, recvBuf, root); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opGather, "", 0, c.Size()*chunk, start, time.Since(start))
+	}
+	return nil
+}
+
+func gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) error {
 	if err := checkRoot(c, root); err != nil {
 		return err
 	}
@@ -174,6 +197,17 @@ func Gather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte, root int) err
 // allgather is bandwidth-optimal — unlike inside the broadcast, where the
 // scatter phase's subtree ownership makes the enclosed ring wasteful.
 func Allgather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
+	ring, start := spanStart(c)
+	if err := allgather(c, sendBuf, chunk, recvBuf); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opAllgather, "", 0, c.Size()*chunk, start, time.Since(start))
+	}
+	return nil
+}
+
+func allgather(c mpi.Comm, sendBuf []byte, chunk int, recvBuf []byte) error {
 	p, rank := c.Size(), c.Rank()
 	if chunk < 0 {
 		return fmt.Errorf("collective: allgather: negative chunk %d", chunk)

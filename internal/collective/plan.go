@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/sched"
@@ -114,12 +115,22 @@ func (p *Plan) SetOptions(c mpi.Comm, o Options) error {
 // after selection — so a plan execution is byte- and traffic-identical
 // to the equivalent per-call broadcast by construction (including the
 // overlap behavior of the nonblocking variants, which a generic
-// schedule interpreter would lose).
+// schedule interpreter would lose). Like RunDecision, it emits an
+// operation span on success when the communicator carries a span ring,
+// so persistent Start/Wait rounds appear on the same timeline as
+// per-call broadcasts — and stays allocation-free doing it.
 func (p *Plan) Execute(c mpi.Comm, buf []byte) error {
 	if len(buf) != p.n {
 		return fmt.Errorf("collective: plan executed with %d bytes, built for %d (Rebind first)", len(buf), p.n)
 	}
-	return p.reg.Run(c, buf, p.root, p.dec.SegSize)
+	ring, start := spanStart(c)
+	if err := p.reg.Run(c, buf, p.root, p.dec.SegSize); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opBcast, p.dec.Algorithm, p.dec.SegSize, p.n, start, time.Since(start))
+	}
+	return nil
 }
 
 // Bytes returns the byte count the plan is currently bound to.

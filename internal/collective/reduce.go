@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/core"
@@ -82,6 +83,17 @@ func decodeFloat64s(b []byte, out []float64) {
 // commutative and associative up to floating-point rounding). Non-root
 // ranks may pass a nil out.
 func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
+	ring, start := spanStart(c)
+	if err := reduceFloat64(c, in, out, op, root); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opReduce, "", 0, 8*len(in), start, time.Since(start))
+	}
+	return nil
+}
+
+func reduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
 	if err := checkRoot(c, root); err != nil {
 		return err
 	}
@@ -147,6 +159,19 @@ func ReduceFloat64(c mpi.Comm, in, out []float64, op Op, root int) error {
 // AllreduceFloat64 reduces element-wise with op and delivers the result
 // to every rank's out vector (reduce to rank 0, then binomial broadcast).
 func AllreduceFloat64(c mpi.Comm, in, out []float64, op Op) error {
+	ring, start := spanStart(c)
+	if err := allreduceFloat64(c, in, out, op); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opAllreduce, "", 0, 8*len(in), start, time.Since(start))
+	}
+	return nil
+}
+
+// allreduceFloat64 calls the unexported reduce so the composite records
+// one "allreduce" span, not a nested "reduce" inside it.
+func allreduceFloat64(c mpi.Comm, in, out []float64, op Op) error {
 	if len(out) < len(in) {
 		return fmt.Errorf("collective: allreduce: out %d < in %d", len(out), len(in))
 	}
@@ -154,7 +179,7 @@ func AllreduceFloat64(c mpi.Comm, in, out []float64, op Op) error {
 	if c.Rank() == 0 {
 		root0Out = out
 	}
-	if err := ReduceFloat64(c, in, root0Out, op, 0); err != nil {
+	if err := reduceFloat64(c, in, root0Out, op, 0); err != nil {
 		return err
 	}
 	// Released only on success: on a broadcast error the wire buffer may

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mpi"
@@ -205,7 +206,10 @@ func envOf(c mpi.Comm, n int) tune.Env {
 // RunDecision executes a tuner decision through the registry, after
 // checking the decided algorithm exists and its capabilities admit the
 // environment (a mis-keyed tuning table fails loudly, not with a hang or
-// a wrong answer deep inside an algorithm).
+// a wrong answer deep inside an algorithm). As the one selection path's
+// execution point it is also the broadcast span-emission site: when the
+// communicator carries a span ring, every successful run records a
+// {rank, op, algorithm, seg, bytes, start, duration} span.
 func RunDecision(c mpi.Comm, buf []byte, root int, d tune.Decision) error {
 	r, ok := Lookup(d.Algorithm)
 	if !ok {
@@ -221,7 +225,14 @@ func RunDecision(c mpi.Comm, buf []byte, root int, d tune.Decision) error {
 		return fmt.Errorf("collective: algorithm %q cannot run with %d bytes on %d ranks over %d node(s)",
 			d.Algorithm, e.Bytes, e.Procs, e.NumNodes)
 	}
-	return r.Run(c, buf, root, d.SegSize)
+	ring, start := spanStart(c)
+	if err := r.Run(c, buf, root, d.SegSize); err != nil {
+		return err
+	}
+	if ring != nil {
+		ring.Record(opBcast, d.Algorithm, d.SegSize, len(buf), start, time.Since(start))
+	}
+	return nil
 }
 
 // BcastWith broadcasts buf from root using the algorithm t selects for

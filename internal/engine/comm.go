@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/topology"
 )
@@ -71,7 +72,18 @@ var (
 // on one communicator can never match each other's messages, even
 // though both were written against the same fixed phase-tag constants.
 func (c *comm) NextTagStream() int {
-	return c.w.eps[c.worldRank()].nextStream(c.ctx)
+	s := c.w.eps[c.worldRank()].nextStream(c.ctx)
+	c.w.metrics.Max(c.worldRank(), metrics.TagStreamHighWater, int64(s))
+	return s
+}
+
+// SpanRing exposes this rank's operation-span ring (nil when the
+// world's Metrics has spans disabled). Collectives discover it through
+// the metrics.SpanSource-shaped type assertion, and decorators like
+// trace's traced communicator forward it — the same capability pattern
+// as mpi.Contexter and mpi.TagStreamer.
+func (c *comm) SpanRing() *metrics.SpanRing {
+	return c.w.metrics.Ring(c.worldRank())
 }
 
 // streamTag maps a reserved-block collective tag onto the rank's

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/topology"
 )
@@ -96,6 +97,13 @@ type Options struct {
 	// negative is rejected, and any non-zero value is rejected with the
 	// Goroutine executor (nothing would honor it).
 	MaxWorkers int
+	// Metrics receives the world's instrumentation. It must be sized for
+	// NP ranks. Nil means the world creates its own (counters are always
+	// on); passing one in lets a caller accumulate across sequential
+	// worlds — the facade's Cluster hands every fallback boot the same
+	// Metrics — and enables operation spans when it was built with a
+	// span capacity.
+	Metrics *metrics.Metrics
 }
 
 // World is a fixed-size group of ranks with message endpoints. A World
@@ -117,6 +125,11 @@ type World struct {
 	deadlock     time.Duration
 
 	exec Executor
+
+	// metrics is never nil: NewWorld wires the caller's Metrics or
+	// creates a counters-only one, so every counter site updates
+	// unconditionally (one atomic add — no branch, no allocation).
+	metrics *metrics.Metrics
 
 	eps    []*endpoint
 	ctxSeq atomic.Int64
@@ -178,8 +191,18 @@ func NewWorld(opts Options) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
+	mx := opts.Metrics
+	if mx == nil {
+		mx = metrics.New(opts.NP, 0)
+	} else if mx.NP() != opts.NP {
+		return nil, fmt.Errorf("engine: Metrics sized for %d ranks, want %d", mx.NP(), opts.NP)
+	}
+	if pe, ok := exec.(*PooledExecutor); ok {
+		pe.metrics = mx
+	}
 	w := &World{
 		exec:         exec,
+		metrics:      mx,
 		np:           opts.NP,
 		topo:         topo,
 		eagerLimit:   eager,
@@ -233,6 +256,7 @@ func (w *World) Reusable() bool {
 
 func (w *World) abort(err error) {
 	w.abortOnce.Do(func() {
+		w.metrics.Add(0, metrics.AbortedRuns, 1)
 		w.abortErr.Store(err)
 		close(w.aborted)
 	})

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // ExecPolicy selects the rank-execution substrate of a World — how the
@@ -135,6 +137,10 @@ func (GoroutineExecutor) Unpark(int) {}
 type PooledExecutor struct {
 	workers int
 	slots   chan struct{}
+	// metrics, when non-nil, receives slot-wait counts (an Unpark that
+	// found no free slot and had to queue). NewWorld binds it; a bare
+	// executor runs uninstrumented.
+	metrics *metrics.Metrics
 }
 
 // NewPooledExecutor builds a pool of PooledWorkers(maxWorkers) slots.
@@ -171,8 +177,21 @@ func (p *PooledExecutor) Launch(np int, body func(rank int)) {
 // Park implements Executor.
 func (p *PooledExecutor) Park(int) { p.release() }
 
-// Unpark implements Executor.
-func (p *PooledExecutor) Unpark(int) { p.acquire() }
+// Unpark implements Executor. The fast path is a non-blocking slot
+// grab; falling through to the blocking acquire means the pool was
+// saturated and this rank queued for a slot — the contention signal
+// the SlotWaits counter exposes.
+func (p *PooledExecutor) Unpark(rank int) {
+	select {
+	case p.slots <- struct{}{}:
+		return
+	default:
+	}
+	if p.metrics != nil {
+		p.metrics.Add(rank, metrics.SlotWaits, 1)
+	}
+	p.acquire()
+}
 
 // newExecutor realizes the Options' executor choice.
 func newExecutor(policy ExecPolicy, maxWorkers int) (Executor, error) {
@@ -197,6 +216,7 @@ func newExecutor(policy ExecPolicy, maxWorkers int) (Executor, error) {
 // parkRank/unparkRank, so a pooled world never wedges on a blocked rank
 // holding a slot.
 func (w *World) parkRank(rank int) {
+	w.metrics.Add(rank, metrics.Parks, 1)
 	w.state[rank].Store(1)
 	w.exec.Park(rank)
 }
@@ -208,4 +228,5 @@ func (w *World) parkRank(rank int) {
 func (w *World) unparkRank(rank int) {
 	w.exec.Unpark(rank)
 	w.state[rank].Store(0)
+	w.metrics.Add(rank, metrics.Unparks, 1)
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/bufpool"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 )
 
@@ -128,19 +129,25 @@ func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, ta
 			copy(staging.B, buf)
 			n, err = copyPayload(pr.buf, staging.B)
 			staging.Release()
+			w.metrics.Add(srcWorld, metrics.StagedBytes, int64(len(buf)))
 		} else {
 			n, err = copyPayload(pr.buf, buf)
 		}
 		ep.mu.Unlock()
 		pr.done <- recvResult{st: mpi.Status{Source: srcRank, Tag: tag, Count: n}, err: err}
 		w.progress.Add(1)
+		w.countSend(srcWorld, eager)
+		w.countRecv(dstWorld, eager)
 		return completedRequest(mpi.Status{Count: len(buf)}, nil)
 	}
 	if eager && (w.eagerCredits == 0 || ep.eagerBuffered[srcWorld] < w.eagerCredits) {
 		ep.arrivals = append(ep.arrivals, newEagerEnvelope(ctx, srcRank, srcWorld, tag, buf))
 		ep.eagerBuffered[srcWorld]++
+		w.metrics.Max(dstWorld, metrics.ArrivalQueueMax, int64(len(ep.arrivals)))
 		ep.mu.Unlock()
 		w.progress.Add(1)
+		w.metrics.Add(srcWorld, metrics.EagerSends, 1)
+		w.metrics.Add(srcWorld, metrics.StagedBytes, int64(len(buf)))
 		return completedRequest(mpi.Status{Count: len(buf)}, nil)
 	}
 	// Zero-copy envelope: rendezvous-sized payloads, or eager overflow
@@ -149,8 +156,10 @@ func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, ta
 	env := newRdvEnvelope(ctx, srcRank, srcWorld, tag, buf)
 	rdv := env.rdv
 	ep.arrivals = append(ep.arrivals, env)
+	w.metrics.Max(dstWorld, metrics.ArrivalQueueMax, int64(len(ep.arrivals)))
 	ep.mu.Unlock()
 	w.progress.Add(1)
+	w.metrics.Add(srcWorld, metrics.RdvSends, 1)
 	r := requestPool.Get().(*request)
 	*r = request{w: w, trackRank: srcWorld, rdv: rdv, sendN: len(buf), cancel: cnl}
 	return r
@@ -179,6 +188,7 @@ func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int, cnl canc
 			putEnvelope(env)
 			rdv.done <- struct{}{} // sender consumes the signal and recycles rdv
 			w.progress.Add(1)
+			w.countRecv(myWorld, false)
 			return completedRequest(st, err)
 		}
 		n, err := copyPayload(buf, env.data)
@@ -187,10 +197,12 @@ func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int, cnl canc
 		st := mpi.Status{Source: env.src, Tag: env.tag, Count: n}
 		putEnvelope(env)
 		w.progress.Add(1)
+		w.countRecv(myWorld, true)
 		return completedRequest(st, err)
 	}
 	pr := getPosted(ctx, src, tag, buf)
 	ep.recvs = append(ep.recvs, pr)
+	w.metrics.Max(myWorld, metrics.PostedQueueMax, int64(len(ep.recvs)))
 	ep.mu.Unlock()
 	r := requestPool.Get().(*request)
 	*r = request{w: w, trackRank: myWorld, pr: pr, cancel: cnl}

@@ -2,8 +2,30 @@ package engine
 
 import (
 	"repro/internal/bufpool"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 )
+
+// countSend charges one issued message to the sender's shard and, when
+// the send also delivered (matched an already-posted receive), one
+// completed receive to the receiver's. Split eager/rendezvous so the
+// protocol mix — the quantity the eager-limit knob tunes — is a
+// first-class observable.
+func (w *World) countSend(srcWorld int, eager bool) {
+	if eager {
+		w.metrics.Add(srcWorld, metrics.EagerSends, 1)
+	} else {
+		w.metrics.Add(srcWorld, metrics.RdvSends, 1)
+	}
+}
+
+func (w *World) countRecv(dstWorld int, eager bool) {
+	if eager {
+		w.metrics.Add(dstWorld, metrics.EagerRecvs, 1)
+	} else {
+		w.metrics.Add(dstWorld, metrics.RdvRecvs, 1)
+	}
+}
 
 // send implements the blocking send. srcRank is the sender's rank within
 // the ctx communicator (carried in the envelope for matching), dstWorld
@@ -38,12 +60,15 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 				copy(staging.B, buf)
 				n, err = copyPayload(pr.buf, staging.B)
 				staging.Release()
+				w.metrics.Add(srcWorld, metrics.StagedBytes, int64(len(buf)))
 			} else {
 				n, err = copyPayload(pr.buf, buf)
 			}
 			ep.mu.Unlock()
 			pr.done <- recvResult{st: mpi.Status{Source: srcRank, Tag: tag, Count: n}, err: err}
 			w.progress.Add(1)
+			w.countSend(srcWorld, eager)
+			w.countRecv(dstWorld, eager)
 			return nil
 		}
 		if !eager {
@@ -56,8 +81,11 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 			// internal/netsim in simulated time.)
 			ep.arrivals = append(ep.arrivals, newEagerEnvelope(ctx, srcRank, srcWorld, tag, buf))
 			ep.eagerBuffered[srcWorld]++
+			w.metrics.Max(dstWorld, metrics.ArrivalQueueMax, int64(len(ep.arrivals)))
 			ep.mu.Unlock()
 			w.progress.Add(1)
+			w.metrics.Add(srcWorld, metrics.EagerSends, 1)
+			w.metrics.Add(srcWorld, metrics.StagedBytes, int64(len(buf)))
 			return nil
 		}
 		// Flow control: the receiver holds a full window of our eager
@@ -90,8 +118,10 @@ func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag
 	env := newRdvEnvelope(ctx, srcRank, srcWorld, tag, buf)
 	rdv := env.rdv
 	ep.arrivals = append(ep.arrivals, env)
+	w.metrics.Max(dstWorld, metrics.ArrivalQueueMax, int64(len(ep.arrivals)))
 	ep.mu.Unlock()
 	w.progress.Add(1)
+	w.metrics.Add(srcWorld, metrics.RdvSends, 1)
 
 	if track {
 		w.parkRank(srcWorld)

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event JSON object. The subset emitted
+// here — "X" (complete) events plus "M" (metadata) thread names, pid 1,
+// one tid per rank, microsecond timestamps — loads in chrome://tracing
+// and Perfetto.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args traceEventArgs `json:"args,omitempty"`
+}
+
+type traceEventArgs struct {
+	Name  string `json:"name,omitempty"` // thread_name metadata
+	Op    string `json:"op,omitempty"`   // span payload
+	Algo  string `json:"algo,omitempty"`
+	Bytes int    `json:"bytes,omitempty"`
+	Seg   int    `json:"seg,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// spanEventName renders a span's display name ("bcast/ring-opt-seg" or
+// just "barrier" for fixed-algorithm collectives).
+func spanEventName(sp Span) string {
+	if sp.Algorithm == "" {
+		return sp.Op
+	}
+	return sp.Op + "/" + sp.Algorithm
+}
+
+// WriteChromeTrace emits the snapshot's spans as Chrome trace-event
+// JSON: pid 1, one tid per rank, timestamps in microseconds relative to
+// the earliest span. The output loads in chrome://tracing and Perfetto,
+// and round-trips through LoadChromeTrace.
+func (s Snapshot) WriteChromeTrace(w io.Writer) error {
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	var epoch time.Time
+	for _, sp := range s.Spans {
+		if epoch.IsZero() || sp.Start.Before(epoch) {
+			epoch = sp.Start
+		}
+	}
+	ranks := map[int]bool{}
+	for _, sp := range s.Spans {
+		if !ranks[sp.Rank] {
+			ranks[sp.Rank] = true
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: sp.Rank,
+				Args: traceEventArgs{Name: fmt.Sprintf("rank %d", sp.Rank)},
+			})
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: spanEventName(sp), Ph: "X", Pid: 1, Tid: sp.Rank,
+			Ts:  float64(sp.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur: float64(sp.Dur) / float64(time.Microsecond),
+			Args: traceEventArgs{
+				Op: sp.Op, Algo: sp.Algorithm, Bytes: sp.Bytes, Seg: sp.Seg,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tf)
+}
+
+// LoadChromeTrace parses a WriteChromeTrace timeline back into spans
+// (start times are relative to the file's epoch). It is the read half
+// of the -spans-summary tooling, so a timeline written by one process
+// can be summarized by another.
+func LoadChromeTrace(r io.Reader) ([]Span, error) {
+	var tf traceFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("metrics: parse chrome trace: %w", err)
+	}
+	var spans []Span
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans = append(spans, Span{
+			Rank:      ev.Tid,
+			Op:        ev.Args.Op,
+			Algorithm: ev.Args.Algo,
+			Seg:       ev.Args.Seg,
+			Bytes:     ev.Args.Bytes,
+			Start:     time.Time{}.Add(time.Duration(ev.Ts * float64(time.Microsecond))),
+			Dur:       time.Duration(ev.Dur * float64(time.Microsecond)),
+		})
+	}
+	return spans, nil
+}
+
+// SummarizeSpans renders a per-(op, algorithm) latency table — count,
+// distinct ranks, bytes, p50/p95/max duration — so a timeline can be
+// eyeballed without Chrome. Rows are sorted by total time descending.
+func SummarizeSpans(spans []Span) string {
+	if len(spans) == 0 {
+		return "no spans"
+	}
+	type key struct{ op, algo string }
+	type agg struct {
+		durs  []time.Duration
+		bytes int64
+		total time.Duration
+		ranks map[int]bool
+	}
+	groups := map[key]*agg{}
+	for _, sp := range spans {
+		k := key{sp.Op, sp.Algorithm}
+		g := groups[k]
+		if g == nil {
+			g = &agg{ranks: map[int]bool{}}
+			groups[k] = g
+		}
+		g.durs = append(g.durs, sp.Dur)
+		g.bytes += int64(sp.Bytes)
+		g.total += sp.Dur
+		g.ranks[sp.Rank] = true
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		gi, gj := groups[keys[i]], groups[keys[j]]
+		if gi.total != gj.total {
+			return gi.total > gj.total
+		}
+		return spanRowName(keys[i].op, keys[i].algo) < spanRowName(keys[j].op, keys[j].algo)
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %6s %12s %10s %10s %10s\n",
+		"op/algorithm", "count", "ranks", "bytes", "p50", "p95", "max")
+	for _, k := range keys {
+		g := groups[k]
+		sort.Slice(g.durs, func(i, j int) bool { return g.durs[i] < g.durs[j] })
+		fmt.Fprintf(&b, "%-28s %8d %6d %12d %10v %10v %10v\n",
+			spanRowName(k.op, k.algo), len(g.durs), len(g.ranks), g.bytes,
+			percentile(g.durs, 50), percentile(g.durs, 95), g.durs[len(g.durs)-1])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func spanRowName(op, algo string) string {
+	if algo == "" {
+		return op
+	}
+	return op + "/" + algo
+}
+
+// percentile returns the p-th percentile of sorted durations
+// (nearest-rank method).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

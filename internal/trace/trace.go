@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/topology"
 )
@@ -52,11 +53,13 @@ type Stats struct {
 	Recvs int64
 }
 
-// String renders a compact summary.
+// String renders a compact summary. Recvs is printed next to the send
+// totals so a clean run's invariant (recvs == msgs) — and any breach of
+// it — is visible at a glance.
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "msgs=%d bytes=%d intra=%d/%d inter=%d/%d",
-		s.Total.Messages, s.Total.Bytes,
+	fmt.Fprintf(&b, "msgs=%d recvs=%d bytes=%d intra=%d/%d inter=%d/%d",
+		s.Total.Messages, s.Recvs, s.Total.Bytes,
 		s.Intra.Messages, s.Intra.Bytes,
 		s.Inter.Messages, s.Inter.Bytes)
 	tags := make([]int, 0, len(s.ByTag))
@@ -187,6 +190,14 @@ func (t *tracedComm) NextTagStream() int {
 		return ts.NextTagStream()
 	}
 	return 0
+}
+
+// SpanRing implements metrics.SpanSource by forwarding to the wrapped
+// communicator — tracing a comm must not hide its span ring from the
+// collectives, or enabling traffic tracing would silently disable
+// operation spans.
+func (t *tracedComm) SpanRing() *metrics.SpanRing {
+	return metrics.RingOf(t.inner)
 }
 
 func (t *tracedComm) Rank() int               { return t.inner.Rank() }
