@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/tune"
 )
 
@@ -66,6 +67,13 @@ type Cluster struct {
 	workers   int
 	collector *trace.Collector
 
+	// transport is the configured point-to-point substrate spec
+	// (WithTransport); trans is the live transport booted with the
+	// current world, closed when the world is retired or the cluster is
+	// Closed.
+	transport string
+	trans     transport.Transport
+
 	// world is the booted engine world Runs reuse; nil (or spent) means
 	// the next Run boots. boots counts world boots for observability.
 	world *engine.World
@@ -109,15 +117,16 @@ func NewCluster(ctx context.Context, opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{
-		base:    ctx,
-		np:      cfg.np,
-		topo:    topo,
-		opts:    callDefaults{o: cfg.opts},
-		eager:   cfg.eager,
-		timeout: cfg.timeout,
-		exec:    cfg.exec,
-		workers: cfg.workers,
-		metrics: metrics.New(cfg.np, cfg.spanCap),
+		base:      ctx,
+		np:        cfg.np,
+		topo:      topo,
+		opts:      callDefaults{o: cfg.opts},
+		eager:     cfg.eager,
+		timeout:   cfg.timeout,
+		exec:      cfg.exec,
+		workers:   cfg.workers,
+		transport: cfg.transport,
+		metrics:   metrics.New(cfg.np, cfg.spanCap),
 	}
 	if cfg.traffic {
 		cl.collector = trace.NewCollector()
@@ -181,7 +190,17 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 	}
 	w := cl.world
 	if w == nil || !w.Reusable() {
-		var err error
+		// A retired world's transport goes with it; each boot gets a
+		// fresh one (a UDP socket does not survive a wedged run any
+		// better than the world does).
+		if cl.trans != nil {
+			cl.trans.Close()
+			cl.trans = nil
+		}
+		trans, err := transport.New(cl.transport, cl.np)
+		if err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
 		w, err = engine.NewWorld(engine.Options{
 			NP:         cl.np,
 			Topology:   cl.topo,
@@ -190,11 +209,14 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 			Executor:   cl.exec,
 			MaxWorkers: cl.workers,
 			Metrics:    cl.metrics,
+			Transport:  trans,
 		})
 		if err != nil {
+			trans.Close()
 			return fmt.Errorf("bcast: %w", err)
 		}
 		cl.world = w
+		cl.trans = trans
 		cl.boots++
 	}
 	epoch := &runEpoch{}
@@ -217,6 +239,10 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 		// world may hold wedged state; retire it rather than reason
 		// about partial cleanup.
 		cl.world = nil
+		if cl.trans != nil {
+			cl.trans.Close()
+			cl.trans = nil
+		}
 		cl.failedRuns++
 		if cl.retired == nil {
 			cl.retired = map[string]int64{}
@@ -224,6 +250,33 @@ func (cl *Cluster) Run(ctx context.Context, fn func(Comm) error) error {
 		cl.retired[retireCause(err)]++
 	}
 	return err
+}
+
+// Transport names the point-to-point substrate each Run boots: "chan"
+// (the in-process default) or "udp" when the cluster was built with
+// WithTransport("udp").
+func (cl *Cluster) Transport() string {
+	if cl.transport == "" {
+		return transport.ChanName
+	}
+	return cl.transport
+}
+
+// Close releases the cluster's booted resources — today the live
+// transport, tomorrow whatever else a backend pins. Clusters on the
+// default in-process transport hold nothing a finalizer would not
+// reclaim, so Close is optional there; clusters built with
+// WithTransport("udp") hold an open socket and should be Closed when
+// retired. Close does not interrupt a Run in flight; call it between
+// Runs, after which the next Run boots fresh.
+func (cl *Cluster) Close() error {
+	cl.world = nil
+	if cl.trans != nil {
+		err := cl.trans.Close()
+		cl.trans = nil
+		return err
+	}
+	return nil
 }
 
 // Boots reports how many engine worlds the cluster has booted so far:

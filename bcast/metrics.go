@@ -41,6 +41,7 @@ type TrafficTotals = metrics.TrafficTotals
 func (cl *Cluster) Metrics() Snapshot {
 	s := engine.CollectMetrics(cl.metrics)
 	s.Executor = cl.Executor()
+	s.Transport = cl.Transport()
 	s.Boots = int64(cl.boots)
 	s.Runs = cl.runs
 	s.FailedRuns = cl.failedRuns

@@ -7,6 +7,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/tune"
 )
 
@@ -24,6 +25,7 @@ type config struct {
 	exec      engine.ExecPolicy
 	workers   int
 	spanCap   int
+	transport string
 }
 
 // Option configures a Cluster. Options are applied in order by
@@ -208,6 +210,26 @@ func WithSpans(n int) Option {
 		}
 		c.spanCap = n
 		return nil
+	}
+}
+
+// WithTransport selects the engine's point-to-point substrate by name:
+// transport.ChanName (the in-process default, also selected by "") or
+// transport.UDPName, which routes every message through a loopback UDP
+// socket using the real datagram framing and retransmit machinery (see
+// internal/transport). The cluster boots a fresh transport with each
+// world and closes it when the world is retired or the cluster is
+// Closed. Traffic and results are byte-identical across transports; only
+// wall-clock differs.
+func WithTransport(spec string) Option {
+	return func(c *config) error {
+		switch spec {
+		case "", transport.ChanName, transport.UDPName:
+			c.transport = spec
+			return nil
+		default:
+			return fmt.Errorf("bcast: unknown transport %q (have %q, %q)", spec, transport.ChanName, transport.UDPName)
+		}
 	}
 }
 

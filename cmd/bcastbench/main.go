@@ -50,6 +50,16 @@
 //
 //	bcastbench -exec pooled -np 256 -autotune -placements blocked:32
 //
+// -transport selects the engine's point-to-point substrate: the default
+// "chan" moves messages in-process, "udp" routes every message through a
+// loopback UDP socket with the real datagram framing and retransmit
+// machinery (internal/transport) — the traffic and results are
+// byte-identical, only the wall clock differs. It applies to the
+// benchmark, -persistent and -autotune modes; -crosscheck rejects it
+// because the netsim reference side has no transport to match:
+//
+//	bcastbench -transport udp -np 8 -algo opt -metrics
+//
 // Every table and report records the substrate in its provenance.
 //
 // Observability (benchmark and -persistent modes): -metrics prints the
@@ -82,6 +92,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/transport"
 	"repro/internal/tune"
 )
 
@@ -106,6 +117,7 @@ func main() {
 		summaryFlag = flag.String("spans-summary", "", "read a -timeline file and print per-operation latency percentiles, then exit")
 		execFlag    = flag.String("exec", "goroutine", "rank-execution substrate: goroutine (one goroutine per rank) | pooled (bounded cooperative worker pool; use for -np in the hundreds)")
 		workFlag    = flag.Int("workers", 0, "pooled executor worker count, clamped to GOMAXPROCS (0 = GOMAXPROCS; requires -exec pooled)")
+		transFlag   = flag.String("transport", "", "point-to-point substrate: chan (in-process, default) | udp (every message over a loopback UDP socket with the real framing and retransmit path)")
 
 		autotuneFlag = flag.Bool("autotune", false, "auto-tune over the registry on the real engine and emit a JSON tuning table")
 		crossFlag    = flag.Bool("crosscheck", false, "derive tables from both netsim and the engine over the same grid and report per-cell agreement")
@@ -156,6 +168,12 @@ func main() {
 	}
 	if *workFlag != 0 && execPol != engine.Pooled {
 		fmt.Fprintln(os.Stderr, "bcastbench: -workers requires -exec pooled (the goroutine substrate has no pool to size)")
+		os.Exit(2)
+	}
+	switch *transFlag {
+	case "", transport.ChanName, transport.UDPName:
+	default:
+		fmt.Fprintf(os.Stderr, "bcastbench: unknown -transport %q (chan|udp)\n", *transFlag)
 		os.Exit(2)
 	}
 	if *minFlag < 0 || *maxFlag < *minFlag {
@@ -225,6 +243,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bcastbench: -model only selects the -crosscheck reference side")
 			os.Exit(2)
 		}
+		if set["transport"] && *crossFlag {
+			// The netsim reference side has no transport to vary, so an
+			// engine-side transport would make the per-cell comparison
+			// asymmetric by construction.
+			fmt.Fprintln(os.Stderr, "bcastbench: -transport is not valid with -crosscheck (the netsim side has no transport)")
+			os.Exit(2)
+		}
 		if *minFlag < 1 {
 			// The size grid doubles from -min; starting at 0 would collapse
 			// it to a single zero-byte point whose winner the emitted rules
@@ -250,7 +275,7 @@ func main() {
 			segs: *segsFlag, placements: *placeFlag, candSet: *candFlag,
 			reps: *repsFlag, warmup: warmup, stat: *statFlag,
 			root: *rootFlag, eager: *eagerFlag, model: *modelFlag,
-			exec: execPol, workers: *workFlag,
+			exec: execPol, workers: *workFlag, transport: *transFlag,
 			crosscheck: *crossFlag, outPath: *outFlag, samplesPath: *samplesFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
@@ -281,7 +306,7 @@ func main() {
 			algo: *algoFlag, table: *tableFlag, seg: *segFlag,
 			min: *minFlag, max: *maxFlag, iters: *itersFlag,
 			cores: *coresFlag, eager: *eagerFlag, root: *rootFlag,
-			exec: execPol, workers: *workFlag,
+			exec: execPol, workers: *workFlag, transport: *transFlag,
 			spanCap: spanCap, metrics: *metricsFlag, timeline: *tlFlag,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
@@ -298,6 +323,7 @@ func main() {
 		SegSize:      *segFlag,
 		Executor:     execPol,
 		MaxWorkers:   *workFlag,
+		Transport:    *transFlag,
 	}
 	label := *algoFlag
 	switch {
@@ -327,7 +353,8 @@ func main() {
 		// section boots against it, so the snapshot spans the whole sweep.
 		mx := metrics.New(np, spanCap)
 		cfg.Metrics = mx
-		fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d, exec=%s\n", label, np, *itersFlag, cfg.ExecLabel())
+		fmt.Printf("# user-level bcast benchmark: %s, np=%d, iters=%d, exec=%s, transport=%s\n",
+			label, np, *itersFlag, cfg.ExecLabel(), cfg.TransportLabel())
 		fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
 		for n := *minFlag; n <= *maxFlag; n *= 2 {
 			res, err := bench.MeasureReal(cfg, n)
@@ -340,7 +367,7 @@ func main() {
 				break
 			}
 		}
-		if err := report(engineSnapshot(mx, cfg.ExecLabel()), *metricsFlag, *tlFlag); err != nil {
+		if err := report(engineSnapshot(mx, cfg.ExecLabel(), cfg.TransportLabel()), *metricsFlag, *tlFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "bcastbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -348,10 +375,12 @@ func main() {
 }
 
 // engineSnapshot merges a benchmark run's Metrics and stamps the
-// executor label the way the facade's Cluster.Metrics does.
-func engineSnapshot(mx *metrics.Metrics, execLabel string) metrics.Snapshot {
+// executor and transport labels the way the facade's Cluster.Metrics
+// does.
+func engineSnapshot(mx *metrics.Metrics, execLabel, transLabel string) metrics.Snapshot {
 	s := engine.CollectMetrics(mx)
 	s.Executor = execLabel
+	s.Transport = transLabel
 	return s
 }
 
@@ -408,6 +437,7 @@ type tuningOpts struct {
 	model        string
 	exec         engine.ExecPolicy
 	workers      int
+	transport    string
 	crosscheck   bool
 	outPath      string
 	samplesPath  string
@@ -459,6 +489,7 @@ func runTuning(procs []int, o tuningOpts) error {
 		Stat:       stat,
 		Executor:   o.exec,
 		MaxWorkers: o.workers,
+		Transport:  o.transport,
 	}
 	if o.samplesPath != "" {
 		eng.Log = log
@@ -526,6 +557,7 @@ type persistOpts struct {
 	eager, root int
 	exec        engine.ExecPolicy
 	workers     int
+	transport   string
 	spanCap     int
 	metrics     bool
 	timeline    string
@@ -585,6 +617,9 @@ func runPersistent(nps []int, o persistOpts) error {
 		if o.exec == engine.Pooled {
 			opts = append(opts, bcast.ExecPooled(o.workers))
 		}
+		if o.transport != "" {
+			opts = append(opts, bcast.WithTransport(o.transport))
+		}
 		if o.spanCap > 0 {
 			opts = append(opts, bcast.WithSpans(o.spanCap))
 		}
@@ -592,8 +627,8 @@ func runPersistent(nps []int, o persistOpts) error {
 		if err != nil {
 			return fmt.Errorf("np=%d: %w", np, err)
 		}
-		fmt.Printf("# persistent bcast benchmark: %s, np=%d, iters=%d, exec=%s\n",
-			label, np, o.iters, o.exec)
+		fmt.Printf("# persistent bcast benchmark: %s, np=%d, iters=%d, exec=%s, transport=%s\n",
+			label, np, o.iters, o.exec, cl.Transport())
 		fmt.Printf("%-12s %14s %14s\n", "bytes", "us/iter", "MB/s")
 		for n := o.min; n <= o.max; n *= 2 {
 			var elapsed time.Duration

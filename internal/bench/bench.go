@@ -23,6 +23,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/tune"
 )
 
@@ -201,12 +202,26 @@ type RealConfig struct {
 	// operation spans). Nil worlds still count into a private Metrics —
 	// the engine's counters are always on — it is just unreadable here.
 	Metrics *metrics.Metrics
+	// Transport selects the engine's point-to-point substrate by name
+	// ("" or "chan" = in-process; "udp" = every message crosses a
+	// loopback UDP socket). The measurement boots and closes its own
+	// transport.
+	Transport string
 }
 
 // ExecLabel names the configured rank-execution substrate for the
 // benchmark's provenance line, worker clamp applied.
 func (cfg RealConfig) ExecLabel() string {
 	return engine.ExecLabel(cfg.Executor, cfg.MaxWorkers)
+}
+
+// TransportLabel names the configured point-to-point substrate for the
+// same provenance line ("chan", "udp").
+func (cfg RealConfig) TransportLabel() string {
+	if cfg.Transport == "" {
+		return transport.ChanName
+	}
+	return cfg.Transport
 }
 
 // bcastFn resolves the broadcast the harness measures: Tuner, then Algo,
@@ -287,6 +302,11 @@ func MeasureReal(cfg RealConfig, n int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	trans, err := transport.New(cfg.Transport, cfg.NP)
+	if err != nil {
+		return Result{}, err
+	}
+	defer trans.Close()
 	var elapsed time.Duration
 	err = engine.RunWith(engine.Options{
 		NP:         cfg.NP,
@@ -296,6 +316,7 @@ func MeasureReal(cfg RealConfig, n int) (Result, error) {
 		Executor:   cfg.Executor,
 		MaxWorkers: cfg.MaxWorkers,
 		Metrics:    cfg.Metrics,
+		Transport:  trans,
 	}, func(c mpi.Comm) error {
 		buf := make([]byte, n)
 		if c.Rank() == cfg.Root {

@@ -25,8 +25,8 @@ func AutoTuneEngine(m measure.EngineMeasurer, cands []tune.Candidate, sweep tune
 		return nil, nil, err
 	}
 	warmup, reps, stat := m.Protocol()
-	t.Description = fmt.Sprintf("%s on the real engine (exec %s, warmup %d, reps %d, stat %s)",
-		t.Description, m.ExecLabel(), warmup, reps, stat)
+	t.Description = fmt.Sprintf("%s on the real engine (exec %s, transport %s, warmup %d, reps %d, stat %s)",
+		t.Description, m.ExecLabel(), m.TransportLabel(), warmup, reps, stat)
 	return t, winners, nil
 }
 

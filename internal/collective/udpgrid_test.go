@@ -1,0 +1,130 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/tune"
+)
+
+// runDecisionWired runs one registry broadcast on a world bound to the
+// given transport and verifies every rank's buffer inside the run.
+func runDecisionWired(t *testing.T, opts engine.Options, d tune.Decision, root, n int) {
+	t.Helper()
+	want := pattern(n)
+	err := engine.RunWith(opts, func(c mpi.Comm) error {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(0xA0 + c.Rank())
+		}
+		if c.Rank() == root {
+			copy(buf, want)
+		}
+		if err := RunDecision(c, buf, root, d); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("rank %d: buffer mismatch (first diff at %d)", c.Rank(), firstDiff(buf, want))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s exec=%v n=%d: %v", d.Algorithm, opts.Executor, n, err)
+	}
+}
+
+// TestUDPTransportRegistryGrid is the transport acceptance grid: every
+// registry algorithm at np=8 on a force-wired loopback UDP transport —
+// all traffic really framed into datagrams, acked, reassembled — on
+// both executors, at an eager and a rendezvous message size. Buffers
+// must match the in-process result exactly (same pattern oracle the
+// chan-transport grids assert against).
+func TestUDPTransportRegistryGrid(t *testing.T) {
+	const (
+		p     = 8
+		seg   = 512
+		eager = 2 << 10 // EagerLimit: n=seg+1 eager, n=32KiB rendezvous
+	)
+	topo := topology.Blocked(p, 4)
+	root := p / 2
+	for _, r := range Algorithms() {
+		for _, execPolicy := range []engine.ExecPolicy{engine.Goroutine, engine.Pooled} {
+			for _, n := range []int{seg + 1, 32 << 10} {
+				e := tune.EnvOf(n, p, topo)
+				if !r.Caps.Match(e) {
+					continue
+				}
+				d := tune.Decision{Algorithm: r.Name}
+				if r.Caps.Segmented {
+					d.SegSize = seg
+				}
+				tr, err := transport.SelfUDP(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := engine.Options{
+					NP: p, Topology: topo, EagerLimit: eager,
+					Timeout: 60 * time.Second, Transport: tr, Executor: execPolicy,
+				}
+				if execPolicy == engine.Pooled {
+					opts.MaxWorkers = 2
+				}
+				runDecisionWired(t, opts, d, root, n)
+				tr.Close()
+			}
+		}
+	}
+}
+
+// TestUDPTransportFaultGrid proves the acceptance criterion for the
+// fault-injection satellite at the collective level: native, opt and
+// opt-seg broadcasts over a loopback UDP transport whose socket drops
+// 5% of datagrams (plus duplication and reordering) must still produce
+// byte-identical buffers, with the recovery visible as retransmits in
+// the metrics snapshot.
+func TestUDPTransportFaultGrid(t *testing.T) {
+	const (
+		p   = 8
+		n   = 24 << 10
+		seg = 4096
+	)
+	topo := topology.Blocked(p, 4)
+	m := metrics.New(p, 0)
+	for _, algo := range []string{tune.RingNative, tune.RingOpt, tune.RingOptSeg} {
+		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := transport.NewFaulty(conn, transport.FaultConfig{Drop: 0.05, Dup: 0.02, Reorder: 0.02})
+		tr, err := transport.NewUDP(transport.UDPConfig{
+			NP: p, Conn: faulty, ForceWire: true, RetransmitEvery: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := tune.Decision{Algorithm: algo}
+		if algo == tune.RingOptSeg {
+			d.SegSize = seg
+		}
+		runDecisionWired(t, engine.Options{
+			NP: p, Topology: topo, EagerLimit: 2 << 10,
+			Timeout: 120 * time.Second, Transport: tr, Metrics: m,
+		}, d, 0, n)
+		tr.Close()
+	}
+	s := m.Snapshot()
+	if s.WireRetransmits == 0 {
+		t.Error("5% datagram loss must surface as retransmits in the snapshot")
+	}
+	if s.WireDatagramsSent == 0 || s.WireDatagramsRecv == 0 {
+		t.Errorf("wire counters dark under the fault grid: %+v", s)
+	}
+}

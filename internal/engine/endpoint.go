@@ -18,7 +18,12 @@ type envelope struct {
 	tag      int
 	data     []byte       // eager payload (engine-owned copy); nil for rendezvous
 	dbuf     *bufpool.Buf // pool handle backing data; released on consumption
-	rdv      *rdvState    // non-nil for rendezvous
+	rdv      *rdvState    // non-nil for local rendezvous
+	// fin, when non-nil, marks a remote rendezvous payload: the consuming
+	// receive calls it (after copying out) to send the RdvAck that
+	// unblocks the sender in its process. Remote eager envelopes are
+	// indistinguishable from local ones (data + dbuf, no fin).
+	fin func()
 }
 
 // rdvState links a blocked rendezvous sender to the eventual receiver.

@@ -52,6 +52,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/topology"
+	"repro/internal/transport"
 )
 
 // DefaultEagerLimit is the eager/rendezvous protocol switch-over in bytes
@@ -104,6 +105,13 @@ type Options struct {
 	// Metrics — and enables operation spans when it was built with a
 	// span capacity.
 	Metrics *metrics.Metrics
+	// Transport is the point-to-point substrate for destinations it
+	// declares wired (see internal/transport). Nil selects the
+	// in-process chan transport — every rank hosted, nothing wired,
+	// byte-identical to the pre-seam engine. The world does not own the
+	// transport: the caller that built it closes it, after the world's
+	// last run.
+	Transport transport.Transport
 }
 
 // World is a fixed-size group of ranks with message endpoints. A World
@@ -130,6 +138,20 @@ type World struct {
 	// creates a counters-only one, so every counter site updates
 	// unconditionally (one atomic add — no branch, no allocation).
 	metrics *metrics.Metrics
+
+	// trans is never nil (default transport.Chan). wired caches whether
+	// any destination crosses it — the single boolean the in-process
+	// send path pays for the seam. hosted[r] caches trans.Hosted(r):
+	// only hosted ranks execute fn; the rest belong to peer processes.
+	trans  transport.Transport
+	wired  bool
+	hosted []bool
+
+	// Remote rendezvous in flight: correlation id → the blocked
+	// sender's rdvState, signaled by deliverRemote on RdvAck.
+	rdvSeq    atomic.Uint64
+	remoteMu  sync.Mutex
+	remoteRdv map[uint64]*rdvState
 
 	eps    []*endpoint
 	ctxSeq atomic.Int64
@@ -187,6 +209,23 @@ func NewWorld(opts Options) (*World, error) {
 	if dl == 0 {
 		dl = 500 * time.Millisecond
 	}
+	trans := opts.Transport
+	if trans == nil {
+		trans = transport.Chan{}
+	}
+	wired := false
+	hosted := make([]bool, opts.NP)
+	for r := 0; r < opts.NP; r++ {
+		hosted[r] = trans.Hosted(r)
+		wired = wired || trans.Wire(r)
+	}
+	if wired {
+		// Wire traffic makes local progress accounting blind: every
+		// hosted rank legitimately blocks while datagrams (or a peer
+		// process) are in flight, so deadlock detection would fire on
+		// ordinary latency. The hard wall-clock timeout still guards.
+		dl = -1
+	}
 	exec, err := newExecutor(opts.Executor, opts.MaxWorkers)
 	if err != nil {
 		return nil, err
@@ -209,6 +248,10 @@ func NewWorld(opts Options) (*World, error) {
 		eagerCredits: credits,
 		timeout:      timeout,
 		deadlock:     dl,
+		trans:        trans,
+		wired:        wired,
+		hosted:       hosted,
+		remoteRdv:    map[uint64]*rdvState{},
 		eps:          make([]*endpoint, opts.NP),
 		aborted:      make(chan struct{}),
 		state:        make([]atomic.Int32, opts.NP),
@@ -221,6 +264,14 @@ func NewWorld(opts Options) (*World, error) {
 	}
 	for i := range w.members {
 		w.members[i] = i
+	}
+	if bm, ok := trans.(interface{ BindMetrics(*metrics.Metrics) }); ok {
+		bm.BindMetrics(mx)
+	}
+	if wired {
+		if err := trans.Start(w.deliverRemote); err != nil {
+			return nil, fmt.Errorf("engine: transport start: %w", err)
+		}
 	}
 	return w, nil
 }
@@ -340,6 +391,11 @@ func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 
 	body := func(rank int) {
 		defer w.state[rank].Store(2)
+		if !w.hosted[rank] {
+			// The rank's body runs in a peer process; its traffic reaches
+			// us through the transport, not through fn.
+			return
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				w.errs[rank] = fmt.Errorf("engine: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
@@ -387,7 +443,13 @@ func (w *World) RunContext(ctx context.Context, fn func(mpi.Comm) error) error {
 	if cascade != nil {
 		return cascade
 	}
-	// Strictness: no message may be left unconsumed.
+	// Strictness: no message may be left unconsumed. Skipped on wired
+	// worlds — a peer process that already entered its next run may
+	// land messages here between our last receive and this scan, so
+	// "drained at run end" is not a well-defined cross-process instant.
+	if w.wired {
+		return nil
+	}
 	for rank, ep := range w.eps {
 		if n := ep.pendingArrivals(); n > 0 {
 			return fmt.Errorf("engine: rank %d finished with %d unconsumed messages", rank, n)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/mpi"
+	"repro/internal/transport"
 )
 
 // The engine's per-message objects — eager payload copies, unexpected-
@@ -79,6 +80,17 @@ func newRdvEnvelope(ctx int64, src, srcWorld, tag int, buf []byte) *envelope {
 	return env
 }
 
+// newRemoteEnvelope builds a pooled envelope for a transport-delivered
+// message, taking ownership of its payload buffer. fin is non-nil for
+// remote rendezvous payloads (the consumption ack callback).
+func newRemoteEnvelope(m *transport.Message, fin func()) *envelope {
+	env := envelopePool.Get().(*envelope)
+	env.ctx, env.src, env.srcWorld, env.tag = m.Ctx, m.Src, m.SrcWorld, m.Tag
+	env.data, env.dbuf, env.rdv = m.Data, m.Buf, nil
+	env.fin = fin
+	return env
+}
+
 // putEnvelope recycles a consumed envelope, releasing its eager payload
 // buffer (if any). The caller must have read every field it needs and,
 // for rendezvous envelopes, must recycle the rdvState separately (it
@@ -87,7 +99,7 @@ func putEnvelope(env *envelope) {
 	if env.dbuf != nil {
 		env.dbuf.Release()
 	}
-	env.data, env.dbuf, env.rdv = nil, nil, nil
+	env.data, env.dbuf, env.rdv, env.fin = nil, nil, nil, nil
 	envelopePool.Put(env)
 }
 

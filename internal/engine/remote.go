@@ -1,0 +1,220 @@
+package engine
+
+// The engine's transport seam. A world built with a wired transport
+// (see internal/transport) routes sends whose destination the transport
+// declares wired through Transport.Send instead of the in-process
+// endpoint path, and receives inbound messages via deliverRemote on the
+// transport's delivery goroutine. The protocols map as:
+//
+//   - Eager: the payload crosses the wire and the send completes at
+//     enqueue time — the transport's copy substitutes for the local
+//     staging copy, so StagedBytes accounting is unchanged. On arrival
+//     the message either completes a posted receive directly or parks
+//     in the unexpected queue as an ordinary eager envelope (charging
+//     the sender's eager-credit account, which the consuming receive
+//     releases as usual; remote senders are not credit-blocked — the
+//     transport's send window is their flow control).
+//   - Rendezvous: the payload crosses the wire with a correlation id
+//     and the sender blocks on a pooled rdvState registered under that
+//     id. When the receiver consumes the payload, the envelope's fin
+//     callback sends a RdvAck back over the same reliable stream, and
+//     deliverRemote signals the sender's rdvState. The "sender blocks
+//     until the receiver takes the message" contract survives; only the
+//     single-copy property is traded for wire framing.
+//
+// Aborted operations abandon their registered rdvStates to the garbage
+// collector (the map entry is dropped; a late ack finds nothing), the
+// same policy pool.go sets for local aborts.
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// TransportName labels the world's transport for provenance
+// ("chan", "udp").
+func (w *World) TransportName() string { return w.trans.Name() }
+
+// registerRdv allocates a correlation id and parks a pooled rdvState
+// under it for a remote rendezvous in flight.
+func (w *World) registerRdv() (uint64, *rdvState) {
+	id := w.rdvSeq.Add(1)
+	rdv := rdvPool.Get().(*rdvState)
+	w.remoteMu.Lock()
+	w.remoteRdv[id] = rdv
+	w.remoteMu.Unlock()
+	return id, rdv
+}
+
+// unregisterRdv abandons an in-flight remote rendezvous (abort/cancel):
+// the map entry is dropped and the rdvState left to the garbage
+// collector, since a late ack may still be heading for it.
+func (w *World) unregisterRdv(id uint64) {
+	w.remoteMu.Lock()
+	delete(w.remoteRdv, id)
+	w.remoteMu.Unlock()
+}
+
+// remoteSend is the blocking send for a wired destination.
+func (w *World) remoteSend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, track bool, cnl cancelSignal) error {
+	select {
+	case <-w.aborted:
+		return w.abortError()
+	default:
+	}
+	if err := cnl.fired(w); err != nil {
+		return err
+	}
+	if len(buf) <= w.eagerLimit {
+		err := w.trans.Send(transport.Message{
+			Ctx: ctx, Src: srcRank, SrcWorld: srcWorld, Dst: dstWorld,
+			Tag: tag, Kind: transport.Eager, Data: buf,
+		})
+		if err != nil {
+			w.abort(err)
+			return w.abortError()
+		}
+		w.progress.Add(1)
+		w.metrics.Add(srcWorld, metrics.EagerSends, 1)
+		w.metrics.Add(srcWorld, metrics.StagedBytes, int64(len(buf)))
+		return nil
+	}
+	id, rdv := w.registerRdv()
+	err := w.trans.Send(transport.Message{
+		Ctx: ctx, Src: srcRank, SrcWorld: srcWorld, Dst: dstWorld,
+		Tag: tag, Kind: transport.Rdv, MsgID: id, Data: buf,
+	})
+	if err != nil {
+		w.unregisterRdv(id)
+		w.abort(err)
+		return w.abortError()
+	}
+	w.progress.Add(1)
+	w.metrics.Add(srcWorld, metrics.RdvSends, 1)
+	if track {
+		w.parkRank(srcWorld)
+		defer w.unparkRank(srcWorld)
+	}
+	select {
+	case <-rdv.done:
+		putRdv(rdv)
+		return nil
+	case <-w.aborted:
+		w.unregisterRdv(id)
+		return w.abortError()
+	case <-cnl.done:
+		w.unregisterRdv(id)
+		return cnl.fire(w)
+	}
+}
+
+// isendRemote is the nonblocking send for a wired destination. Eager
+// completes immediately; rendezvous returns a request blocked on the
+// registered rdvState, which request.Wait handles exactly like a local
+// zero-copy send (the ack signal is delivered through the same
+// buffered-once channel).
+func (w *World) isendRemote(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, cnl cancelSignal) *request {
+	select {
+	case <-w.aborted:
+		return completedRequest(mpi.Status{}, w.abortError())
+	default:
+	}
+	if err := cnl.fired(w); err != nil {
+		return completedRequest(mpi.Status{}, err)
+	}
+	if len(buf) <= w.eagerLimit {
+		err := w.trans.Send(transport.Message{
+			Ctx: ctx, Src: srcRank, SrcWorld: srcWorld, Dst: dstWorld,
+			Tag: tag, Kind: transport.Eager, Data: buf,
+		})
+		if err != nil {
+			w.abort(err)
+			return completedRequest(mpi.Status{}, w.abortError())
+		}
+		w.progress.Add(1)
+		w.metrics.Add(srcWorld, metrics.EagerSends, 1)
+		w.metrics.Add(srcWorld, metrics.StagedBytes, int64(len(buf)))
+		return completedRequest(mpi.Status{Count: len(buf)}, nil)
+	}
+	id, rdv := w.registerRdv()
+	err := w.trans.Send(transport.Message{
+		Ctx: ctx, Src: srcRank, SrcWorld: srcWorld, Dst: dstWorld,
+		Tag: tag, Kind: transport.Rdv, MsgID: id, Data: buf,
+	})
+	if err != nil {
+		w.unregisterRdv(id)
+		w.abort(err)
+		return completedRequest(mpi.Status{}, w.abortError())
+	}
+	w.progress.Add(1)
+	w.metrics.Add(srcWorld, metrics.RdvSends, 1)
+	r := requestPool.Get().(*request)
+	*r = request{w: w, trackRank: srcWorld, rdv: rdv, sendN: len(buf), cancel: cnl}
+	return r
+}
+
+// deliverRemote is the transport Handler: it runs on the transport's
+// delivery goroutine and injects inbound messages into the destination
+// endpoint exactly where a local sender would — completing a posted
+// receive directly or parking an envelope in the unexpected queue.
+func (w *World) deliverRemote(m transport.Message) {
+	if m.Kind == transport.RdvAck {
+		if m.Buf != nil {
+			m.Buf.Release()
+		}
+		w.remoteMu.Lock()
+		rdv := w.remoteRdv[m.MsgID]
+		delete(w.remoteRdv, m.MsgID)
+		w.remoteMu.Unlock()
+		if rdv != nil {
+			rdv.done <- struct{}{}
+			w.progress.Add(1)
+		}
+		return
+	}
+	if (m.Kind != transport.Eager && m.Kind != transport.Rdv) ||
+		m.Dst < 0 || m.Dst >= w.np || !w.hosted[m.Dst] {
+		if m.Buf != nil {
+			m.Buf.Release()
+		}
+		return
+	}
+	eager := m.Kind == transport.Eager
+	var fin func()
+	if !eager {
+		// Consumption notice back to the blocked sender. Captured by
+		// value so the closure does not pin the payload buffer.
+		ctx, from, to, id := m.Ctx, m.Dst, m.SrcWorld, m.MsgID
+		fin = func() {
+			_ = w.trans.Send(transport.Message{
+				Ctx: ctx, Src: from, SrcWorld: from, Dst: to,
+				Kind: transport.RdvAck, MsgID: id,
+			})
+		}
+	}
+	ep := w.eps[m.Dst]
+	ep.mu.Lock()
+	if pr := ep.matchPosted(m.Ctx, m.Src, m.Tag); pr != nil {
+		n, err := copyPayload(pr.buf, m.Data)
+		ep.mu.Unlock()
+		pr.done <- recvResult{st: mpi.Status{Source: m.Src, Tag: m.Tag, Count: n}, err: err}
+		if m.Buf != nil {
+			m.Buf.Release()
+		}
+		w.progress.Add(1)
+		w.countRecv(m.Dst, eager)
+		if fin != nil {
+			fin()
+		}
+		return
+	}
+	env := newRemoteEnvelope(&m, fin)
+	ep.arrivals = append(ep.arrivals, env)
+	if eager {
+		ep.eagerBuffered[m.SrcWorld]++
+	}
+	w.metrics.Max(m.Dst, metrics.ArrivalQueueMax, int64(len(ep.arrivals)))
+	ep.mu.Unlock()
+	w.progress.Add(1)
+}

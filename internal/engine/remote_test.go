@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+// wirePattern fills a payload deterministically from a seed.
+func wirePattern(seed, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(seed*37 + i*11)
+	}
+	return b
+}
+
+// wireRing is a rank body exercising both wire protocols: a blocking
+// Sendrecv ring at an eager size and a rendezvous size, then a
+// nonblocking Irecv/Isend ring at a rendezvous size. EagerLimit in the
+// world options must sit between eagerSz and rdvSz.
+const (
+	wireEagerSz = 128
+	wireRdvSz   = 8 << 10
+	wireLimit   = 1 << 10
+)
+
+func wireRing(c mpi.Comm) error {
+	me, np := c.Rank(), c.Size()
+	next, prev := (me+1)%np, (me+np-1)%np
+	for _, sz := range []int{wireEagerSz, wireRdvSz} {
+		out := wirePattern(me, sz)
+		in := make([]byte, sz)
+		st, err := c.Sendrecv(out, next, 7, in, prev, 7)
+		if err != nil {
+			return err
+		}
+		if st.Count != sz {
+			return fmt.Errorf("rank %d: sendrecv count %d, want %d", me, st.Count, sz)
+		}
+		if !bytes.Equal(in, wirePattern(prev, sz)) {
+			return fmt.Errorf("rank %d: %d-byte ring payload corrupted", me, sz)
+		}
+	}
+	out := wirePattern(me+100, wireRdvSz)
+	in := make([]byte, wireRdvSz)
+	rr, err := c.Irecv(in, prev, 9)
+	if err != nil {
+		return err
+	}
+	sr, err := c.Isend(out, next, 9)
+	if err != nil {
+		return err
+	}
+	if _, err := rr.Wait(); err != nil {
+		return err
+	}
+	if _, err := sr.Wait(); err != nil {
+		return err
+	}
+	if !bytes.Equal(in, wirePattern(prev+100, wireRdvSz)) {
+		return fmt.Errorf("rank %d: nonblocking ring payload corrupted", me)
+	}
+	return nil
+}
+
+// TestSelfUDPWiredWorld boots one world whose transport force-wires
+// every rank through its own UDP socket: all traffic really crosses the
+// datagram path, in one process, and results must be correct with wire
+// counters lit.
+func TestSelfUDPWiredWorld(t *testing.T) {
+	tr, err := transport.SelfUDP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	m := metrics.New(4, 0)
+	w, err := NewWorld(Options{
+		NP: 4, EagerLimit: wireLimit, Timeout: 30 * time.Second,
+		Transport: tr, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TransportName() != transport.UDPName {
+		t.Errorf("TransportName = %q, want udp", w.TransportName())
+	}
+	// Two sequential runs: world reuse must survive the wire path.
+	for run := 0; run < 2; run++ {
+		if err := w.Run(wireRing); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	s := m.Snapshot()
+	if s.WireDatagramsSent == 0 || s.WireDatagramsRecv == 0 {
+		t.Errorf("wire counters dark on a force-wired world: %+v", s)
+	}
+	if s.EagerSends == 0 || s.RdvSends == 0 {
+		t.Errorf("both protocols should have crossed the wire: eager=%d rdv=%d", s.EagerSends, s.RdvSends)
+	}
+}
+
+// TestSplitHostedWorlds runs one 6-rank world as two cooperating
+// "processes" in-process: world A hosts ranks 0–2, world B hosts 3–5,
+// each with its own UDP socket, addressing the other's. The ring body
+// must complete with correct bytes on every rank across both worlds —
+// the same structure cmd/bcastsoak runs across real OS processes.
+func TestSplitHostedWorlds(t *testing.T) {
+	const np = 6
+	connA, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	connB, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peersTo := func(addr net.Addr, ranks ...int) map[int]string {
+		p := map[int]string{}
+		for _, r := range ranks {
+			p[r] = addr.String()
+		}
+		return p
+	}
+	trA, err := transport.NewUDP(transport.UDPConfig{
+		NP: np, Hosted: []int{0, 1, 2}, Conn: connA,
+		Peers: peersTo(connB.LocalAddr(), 3, 4, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+	trB, err := transport.NewUDP(transport.UDPConfig{
+		NP: np, Hosted: []int{3, 4, 5}, Conn: connB,
+		Peers: peersTo(connA.LocalAddr(), 0, 1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trB.Close()
+
+	mkWorld := func(tr transport.Transport) *World {
+		w, err := NewWorld(Options{
+			NP: np, EagerLimit: wireLimit, Timeout: 30 * time.Second, Transport: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wa, wb := mkWorld(trA), mkWorld(trB)
+
+	for run := 0; run < 2; run++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for i, w := range []*World{wa, wb} {
+			wg.Add(1)
+			go func(i int, w *World) {
+				defer wg.Done()
+				errs[i] = w.Run(wireRing)
+			}(i, w)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("run %d, world %d: %v", run, i, err)
+			}
+		}
+	}
+}
+
+// TestWiredWorldUnhostedRanksSkipBody: a split-hosted world must invoke
+// fn only for its hosted ranks.
+func TestWiredWorldUnhostedRanksSkipBody(t *testing.T) {
+	const np = 4
+	tr, err := transport.NewUDP(transport.UDPConfig{
+		NP: np, Hosted: []int{1, 3},
+		Peers: map[int]string{0: "127.0.0.1:9", 2: "127.0.0.1:9"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	w, err := NewWorld(Options{NP: np, Timeout: 10 * time.Second, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	err = w.Run(func(c mpi.Comm) error {
+		mu.Lock()
+		ran[c.Rank()] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 || !ran[1] || !ran[3] {
+		t.Errorf("fn ran on ranks %v, want exactly {1, 3}", ran)
+	}
+}
+
+// TestChanTransportDefaultUnwired: the default world must report the
+// chan transport and keep strictness checking active (an unconsumed
+// message still fails the run) — the byte-identical pre-seam behavior.
+func TestChanTransportDefaultUnwired(t *testing.T) {
+	w, err := NewWorld(Options{NP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TransportName() != transport.ChanName {
+		t.Errorf("TransportName = %q, want chan", w.TransportName())
+	}
+	err = w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			return c.Send([]byte{1}, 1, 5) // never received
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("strictness must still fail an unconsumed message on the chan transport")
+	}
+}

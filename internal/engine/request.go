@@ -109,6 +109,9 @@ func (r *request) Done() bool {
 // and the request finishes when the receiver copies it out. Envelopes
 // enter the queue synchronously, preserving non-overtaking order.
 func (w *World) isend(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, cnl cancelSignal) *request {
+	if w.wired && w.trans.Wire(dstWorld) {
+		return w.isendRemote(ctx, srcRank, srcWorld, dstWorld, buf, tag, cnl)
+	}
 	select {
 	case <-w.aborted:
 		return completedRequest(mpi.Status{}, w.abortError())
@@ -187,6 +190,20 @@ func (w *World) irecv(ctx int64, myWorld int, buf []byte, src, tag int, cnl canc
 			st := mpi.Status{Source: env.src, Tag: env.tag, Count: n}
 			putEnvelope(env)
 			rdv.done <- struct{}{} // sender consumes the signal and recycles rdv
+			w.progress.Add(1)
+			w.countRecv(myWorld, false)
+			return completedRequest(st, err)
+		}
+		if env.fin != nil {
+			// Remote rendezvous: copy out of the wire payload, then ack
+			// the sender's process. No eager credit to release — remote
+			// rendezvous never charged one.
+			n, err := copyPayload(buf, env.data)
+			ep.mu.Unlock()
+			st := mpi.Status{Source: env.src, Tag: env.tag, Count: n}
+			fin := env.fin
+			putEnvelope(env)
+			fin()
 			w.progress.Add(1)
 			w.countRecv(myWorld, false)
 			return completedRequest(st, err)

@@ -35,6 +35,9 @@ func (w *World) countRecv(dstWorld int, eager bool) {
 // blocking is accounted by the Sendrecv wrapper). cnl is the operation's
 // bound cancellation signal (zero = unbound).
 func (w *World) send(ctx int64, srcRank, srcWorld, dstWorld int, buf []byte, tag int, track bool, cnl cancelSignal) error {
+	if w.wired && w.trans.Wire(dstWorld) {
+		return w.remoteSend(ctx, srcRank, srcWorld, dstWorld, buf, tag, track, cnl)
+	}
 	ep := w.eps[dstWorld]
 	eager := len(buf) <= w.eagerLimit
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mpi"
 	"repro/internal/topology"
+	"repro/internal/transport"
 	"repro/internal/tune"
 )
 
@@ -65,6 +66,12 @@ type EngineMeasurer struct {
 	// MaxWorkers bounds the pooled executor's worker count
 	// (0 = GOMAXPROCS; pooled executor only).
 	MaxWorkers int
+	// Transport selects the engine's point-to-point substrate by name
+	// (transport.ChanName — the default when empty — or
+	// transport.UDPName, which routes every message through a loopback
+	// UDP socket; see internal/transport). Each measurement boots its
+	// own transport and closes it with the world.
+	Transport string
 	// Log, when non-nil, receives the raw samples of every measurement.
 	Log *SampleLog
 }
@@ -84,6 +91,16 @@ func (m EngineMeasurer) Protocol() (warmup, reps int, stat Stat) {
 // executor half of the provenance Protocol covers.
 func (m EngineMeasurer) ExecLabel() string {
 	return engine.ExecLabel(m.Executor, m.MaxWorkers)
+}
+
+// TransportLabel names the effective point-to-point substrate a Measure
+// call will boot ("chan", "udp") — the transport half of the same
+// provenance.
+func (m EngineMeasurer) TransportLabel() string {
+	if m.Transport == "" {
+		return transport.ChanName
+	}
+	return m.Transport
 }
 
 func (m EngineMeasurer) fill() EngineMeasurer {
@@ -158,6 +175,7 @@ func (m EngineMeasurer) Measure(c tune.Candidate, p, n int) (float64, error) {
 			Reps:      m.Reps,
 			Stat:      string(stat),
 			Exec:      m.ExecLabel(),
+			Transport: m.TransportLabel(),
 			Seconds:   sec,
 			Samples:   samples,
 			Summary:   sum,
@@ -201,6 +219,11 @@ func (m EngineMeasurer) run(d tune.Decision, p, n int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	trans, err := transport.New(m.Transport, p)
+	if err != nil {
+		return nil, err
+	}
+	defer trans.Close()
 	w, err := engine.NewWorld(engine.Options{
 		NP:         p,
 		Topology:   topo,
@@ -208,6 +231,7 @@ func (m EngineMeasurer) run(d tune.Decision, p, n int) ([]float64, error) {
 		Timeout:    m.Timeout,
 		Executor:   m.Executor,
 		MaxWorkers: m.MaxWorkers,
+		Transport:  trans,
 	})
 	if err != nil {
 		return nil, err

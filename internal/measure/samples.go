@@ -32,6 +32,10 @@ type Record struct {
 	// ("goroutine", "pooled(8)") — samples from different substrates are
 	// not comparable, so the log must say which produced each record.
 	Exec string `json:"exec,omitempty"`
+	// Transport names the point-to-point substrate ("chan", "udp"):
+	// wall-clock over a real socket is not comparable to the in-process
+	// path, so it is part of the measurement key too.
+	Transport string `json:"transport,omitempty"`
 	// Samples are the per-repetition times (slowest rank per repetition).
 	Samples []float64 `json:"samples_sec"`
 	// Summary is the robust digest of Samples.

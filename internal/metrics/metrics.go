@@ -56,6 +56,17 @@ const (
 	// gauges).
 	PostedQueueMax
 	ArrivalQueueMax
+	// Wire* counters instrument a real-network transport (zero on the
+	// in-process chan path): datagrams and wire bytes in each direction,
+	// timeout-triggered retransmits, and completed ACK round-trips
+	// (acknowledgements that retired at least one pending datagram).
+	// Wire activity is process-level, so transports charge shard 0.
+	WireDatagramsSent
+	WireDatagramsRecv
+	WireBytesSent
+	WireBytesRecv
+	WireRetransmits
+	WireAckRoundTrips
 
 	numCounters
 )
@@ -176,6 +187,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.TagStreamHighWater = merged[TagStreamHighWater]
 	s.PostedQueueMax = merged[PostedQueueMax]
 	s.ArrivalQueueMax = merged[ArrivalQueueMax]
+	s.WireDatagramsSent = merged[WireDatagramsSent]
+	s.WireDatagramsRecv = merged[WireDatagramsRecv]
+	s.WireBytesSent = merged[WireBytesSent]
+	s.WireBytesRecv = merged[WireBytesRecv]
+	s.WireRetransmits = merged[WireRetransmits]
+	s.WireAckRoundTrips = merged[WireAckRoundTrips]
 	for r := range m.rings {
 		ring := &m.rings[r]
 		s.Spans = append(s.Spans, ring.Spans()...)

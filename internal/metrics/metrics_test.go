@@ -131,6 +131,7 @@ func goldenSnapshot() Snapshot {
 	return Snapshot{
 		NP:                 4,
 		Executor:           "pooled(4)",
+		Transport:          "udp",
 		EagerSends:         120,
 		RdvSends:           30,
 		EagerRecvs:         120,
@@ -140,6 +141,12 @@ func goldenSnapshot() Snapshot {
 		Unparks:            256,
 		SlotWaits:          12,
 		AbortedRuns:        1,
+		WireDatagramsSent:  420,
+		WireDatagramsRecv:  409,
+		WireBytesSent:      3 << 20,
+		WireBytesRecv:      3<<20 - 8192,
+		WireRetransmits:    11,
+		WireAckRoundTrips:  57,
 		TagStreamHighWater: 7,
 		PostedQueueMax:     3,
 		ArrivalQueueMax:    9,

@@ -32,8 +32,9 @@ type TrafficTotals struct {
 // process- and cluster-level observables its assemblers fold in
 // (bufpool activity, world lifecycle, traced traffic).
 type Snapshot struct {
-	NP       int
-	Executor string // rank-execution substrate label; "" when unknown
+	NP        int
+	Executor  string // rank-execution substrate label; "" when unknown
+	Transport string // point-to-point transport label ("chan", "udp"); "" when unknown
 
 	// Engine counters (summed over ranks).
 	EagerSends, RdvSends int64
@@ -42,6 +43,14 @@ type Snapshot struct {
 	Parks, Unparks       int64
 	SlotWaits            int64
 	AbortedRuns          int64
+
+	// Wire transport counters (zero on the in-process chan path):
+	// datagrams and bytes in each direction, timeout-triggered
+	// retransmits, and ACK round-trips that retired pending datagrams.
+	WireDatagramsSent, WireDatagramsRecv int64
+	WireBytesSent, WireBytesRecv         int64
+	WireRetransmits                      int64
+	WireAckRoundTrips                    int64
 
 	// Engine gauges (maximum over ranks).
 	TagStreamHighWater int64
@@ -78,9 +87,16 @@ func (s Snapshot) String() string {
 	if s.Executor != "" {
 		fmt.Fprintf(&b, " exec=%s", s.Executor)
 	}
+	if s.Transport != "" {
+		fmt.Fprintf(&b, " transport=%s", s.Transport)
+	}
 	fmt.Fprintf(&b, "\n  sends: eager=%d rendezvous=%d\n", s.EagerSends, s.RdvSends)
 	fmt.Fprintf(&b, "  recvs: eager=%d rendezvous=%d staged-bytes=%d\n", s.EagerRecvs, s.RdvRecvs, s.StagedBytes)
 	fmt.Fprintf(&b, "  executor: parks=%d unparks=%d slot-waits=%d\n", s.Parks, s.Unparks, s.SlotWaits)
+	if s.wireActive() {
+		fmt.Fprintf(&b, "  wire: datagrams-sent=%d datagrams-recv=%d bytes-sent=%d bytes-recv=%d retransmits=%d ack-rtts=%d\n",
+			s.WireDatagramsSent, s.WireDatagramsRecv, s.WireBytesSent, s.WireBytesRecv, s.WireRetransmits, s.WireAckRoundTrips)
+	}
 	fmt.Fprintf(&b, "  queues: posted-max=%d arrival-max=%d tag-stream-hw=%d\n",
 		s.PostedQueueMax, s.ArrivalQueueMax, s.TagStreamHighWater)
 	fmt.Fprintf(&b, "  lifecycle: boots=%d runs=%d failed=%d aborted=%d", s.Boots, s.Runs, s.FailedRuns, s.AbortedRuns)
@@ -104,6 +120,17 @@ func (s Snapshot) String() string {
 			t.Messages, t.Bytes, t.IntraMessages, t.IntraBytes, t.InterMessages, t.InterBytes, t.Recvs)
 	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// wireActive reports whether the wire-transport summary line should
+// render: a non-chan transport label or any wire counter activity. A
+// chan-only snapshot stays byte-identical to what it printed before the
+// transport seam existed.
+func (s Snapshot) wireActive() bool {
+	if s.Transport != "" && s.Transport != "chan" {
+		return true
+	}
+	return s.WireDatagramsSent+s.WireDatagramsRecv+s.WireRetransmits+s.WireAckRoundTrips > 0
 }
 
 func sortedCauses(m map[string]int64) []string {
@@ -172,6 +199,21 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	p.printf("bcast_executor_unparks_total %d\n", s.Unparks)
 	p.header("bcast_executor_slot_waits_total", "Pooled-executor unparks that waited for a free slot.", "counter")
 	p.printf("bcast_executor_slot_waits_total %d\n", s.SlotWaits)
+
+	if s.Transport != "" {
+		p.header("bcast_transport_info", "Point-to-point transport substrate, as a label.", "gauge")
+		p.printf("bcast_transport_info{transport=%q} 1\n", s.Transport)
+	}
+	p.header("bcast_wire_datagrams_total", "Transport datagrams on the wire, by direction.", "counter")
+	p.printf("bcast_wire_datagrams_total{direction=\"sent\"} %d\n", s.WireDatagramsSent)
+	p.printf("bcast_wire_datagrams_total{direction=\"recv\"} %d\n", s.WireDatagramsRecv)
+	p.header("bcast_wire_bytes_total", "Transport bytes on the wire (headers included), by direction.", "counter")
+	p.printf("bcast_wire_bytes_total{direction=\"sent\"} %d\n", s.WireBytesSent)
+	p.printf("bcast_wire_bytes_total{direction=\"recv\"} %d\n", s.WireBytesRecv)
+	p.header("bcast_wire_retransmits_total", "Datagrams retransmitted after an ACK timeout.", "counter")
+	p.printf("bcast_wire_retransmits_total %d\n", s.WireRetransmits)
+	p.header("bcast_wire_ack_round_trips_total", "ACKs received that retired at least one pending datagram.", "counter")
+	p.printf("bcast_wire_ack_round_trips_total %d\n", s.WireAckRoundTrips)
 
 	p.header("bcast_tag_stream_high_water", "Highest collective tag-stream id reached by any rank.", "gauge")
 	p.printf("bcast_tag_stream_high_water %d\n", s.TagStreamHighWater)

@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// FaultConfig sets independent per-datagram fault probabilities for a
+// Faulty wrapper. Probabilities are evaluated in Drop, Dup, Reorder
+// order from one roll, so their sum must not exceed 1.
+type FaultConfig struct {
+	Drop    float64 // datagram vanishes (write reports success)
+	Dup     float64 // datagram is written twice
+	Reorder float64 // datagram is held and released after a later write
+	Seed    int64   // rng seed; 0 means a fixed default (deterministic)
+}
+
+// Faulty wraps a PacketConn and injects datagram loss, duplication and
+// reordering on the write side. Reads pass through untouched, so
+// wrapping one endpoint of a pair perturbs exactly one direction.
+// The retransmit contract makes all three faults invisible to the
+// Transport's callers — tests wrap a UDP transport's socket in a Faulty
+// to prove byte-identity under loss.
+type Faulty struct {
+	net.PacketConn
+	cfg FaultConfig
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held []heldPkt
+}
+
+type heldPkt struct {
+	b    []byte
+	addr net.Addr
+}
+
+// maxHeld bounds how many reordered packets wait for a release trigger.
+const maxHeld = 4
+
+// NewFaulty wraps conn with the configured fault probabilities.
+func NewFaulty(conn net.PacketConn, cfg FaultConfig) *Faulty {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faulty{PacketConn: conn, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// WriteTo implements net.PacketConn with fault injection. Dropped
+// datagrams report success — exactly what the network does.
+func (f *Faulty) WriteTo(p []byte, addr net.Addr) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	roll := f.rng.Float64()
+	switch {
+	case roll < f.cfg.Drop:
+		return len(p), nil
+	case roll < f.cfg.Drop+f.cfg.Dup:
+		f.PacketConn.WriteTo(p, addr)
+		return f.PacketConn.WriteTo(p, addr)
+	case roll < f.cfg.Drop+f.cfg.Dup+f.cfg.Reorder:
+		f.held = append(f.held, heldPkt{append([]byte(nil), p...), addr})
+		if len(f.held) > maxHeld {
+			h := f.held[0]
+			f.held = f.held[1:]
+			f.PacketConn.WriteTo(h.b, h.addr)
+		}
+		return len(p), nil
+	default:
+		n, err := f.PacketConn.WriteTo(p, addr)
+		for _, h := range f.held {
+			f.PacketConn.WriteTo(h.b, h.addr)
+		}
+		f.held = f.held[:0]
+		return n, err
+	}
+}
+
+// Close flushes held packets, then closes the underlying socket.
+func (f *Faulty) Close() error {
+	f.mu.Lock()
+	for _, h := range f.held {
+		f.PacketConn.WriteTo(h.b, h.addr)
+	}
+	f.held = nil
+	f.mu.Unlock()
+	return f.PacketConn.Close()
+}

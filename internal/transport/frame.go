@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet types on the wire (first byte of every datagram). Anything
+// else — e.g. the soak harness's textual HELLO/PEERS bootstrap packets
+// sharing the socket — is silently dropped by the receive loop.
+const (
+	ptData = 1
+	ptAck  = 2
+)
+
+// Wire sizes. maxDatagram keeps every fragment comfortably inside a
+// loopback MTU and inside one bufpool size class; messages larger than
+// maxPayload are split into sequential fragments of the same flow.
+const (
+	dataHeaderLen = 54
+	ackLen        = 9
+	maxDatagram   = 8 << 10
+	maxPayload    = maxDatagram - dataHeaderLen
+)
+
+// header is the decoded 54-byte data-datagram header. The layout is
+// documented in the package comment; all fields are little-endian.
+type header struct {
+	seq      uint64
+	msgID    uint64
+	kind     Kind
+	ctx      int64
+	src      int
+	srcWorld int
+	dst      int
+	tag      int
+	totalLen int
+	offset   int
+}
+
+// putHeader encodes h into b[:dataHeaderLen]. b must be caller-owned
+// (a pooled wire buffer) and at least dataHeaderLen long.
+func putHeader(b []byte, h header) {
+	b[0] = ptData
+	binary.LittleEndian.PutUint64(b[1:9], h.seq)
+	binary.LittleEndian.PutUint64(b[9:17], h.msgID)
+	b[17] = byte(h.kind)
+	binary.LittleEndian.PutUint64(b[18:26], uint64(h.ctx))
+	binary.LittleEndian.PutUint32(b[26:30], uint32(h.src))
+	binary.LittleEndian.PutUint32(b[30:34], uint32(h.srcWorld))
+	binary.LittleEndian.PutUint32(b[34:38], uint32(h.dst))
+	binary.LittleEndian.PutUint64(b[38:46], uint64(int64(h.tag)))
+	binary.LittleEndian.PutUint32(b[46:50], uint32(h.totalLen))
+	binary.LittleEndian.PutUint32(b[50:54], uint32(h.offset))
+}
+
+// parseHeader decodes a data datagram's header. The fragment payload is
+// b[dataHeaderLen:]; its length is implicit in the datagram length.
+func parseHeader(b []byte) (header, error) {
+	if len(b) < dataHeaderLen {
+		return header{}, fmt.Errorf("transport: short data datagram (%d bytes)", len(b))
+	}
+	h := header{
+		seq:      binary.LittleEndian.Uint64(b[1:9]),
+		msgID:    binary.LittleEndian.Uint64(b[9:17]),
+		kind:     Kind(b[17]),
+		ctx:      int64(binary.LittleEndian.Uint64(b[18:26])),
+		src:      int(int32(binary.LittleEndian.Uint32(b[26:30]))),
+		srcWorld: int(int32(binary.LittleEndian.Uint32(b[30:34]))),
+		dst:      int(int32(binary.LittleEndian.Uint32(b[34:38]))),
+		tag:      int(int64(binary.LittleEndian.Uint64(b[38:46]))),
+		totalLen: int(binary.LittleEndian.Uint32(b[46:50])),
+		offset:   int(binary.LittleEndian.Uint32(b[50:54])),
+	}
+	frag := len(b) - dataHeaderLen
+	if h.totalLen < 0 || h.offset < 0 || h.offset+frag > h.totalLen {
+		return header{}, fmt.Errorf("transport: fragment [%d:%d) exceeds message length %d",
+			h.offset, h.offset+frag, h.totalLen)
+	}
+	return h, nil
+}
+
+// putAck encodes a cumulative ACK for seq into b[:ackLen].
+func putAck(b []byte, seq uint64) {
+	b[0] = ptAck
+	binary.LittleEndian.PutUint64(b[1:9], seq)
+}
+
+// parseAck decodes an ACK datagram's cumulative sequence number.
+func parseAck(b []byte) (uint64, error) {
+	if len(b) < ackLen {
+		return 0, fmt.Errorf("transport: short ack datagram (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[1:9]), nil
+}

@@ -1,0 +1,367 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestFrameRoundTrip pins the wire encoding: every header field must
+// survive encode/decode, including negative tags and the ack format.
+func TestFrameRoundTrip(t *testing.T) {
+	in := header{
+		seq: 7, msgID: 99, kind: Rdv, ctx: 1 << 40,
+		src: 3, srcWorld: 11, dst: 5, tag: -42,
+		totalLen: 100, offset: 64,
+	}
+	frag := 36 // totalLen - offset
+	b := make([]byte, dataHeaderLen+frag)
+	putHeader(b, in)
+	if b[0] != ptData {
+		t.Fatalf("packet type = %d, want %d", b[0], ptData)
+	}
+	out, err := parseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("header round-trip:\n got %+v\nwant %+v", out, in)
+	}
+
+	var ab [ackLen]byte
+	putAck(ab[:], 1<<50)
+	seq, err := parseAck(ab[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1<<50 {
+		t.Errorf("ack round-trip = %d, want %d", seq, 1<<50)
+	}
+}
+
+// TestFrameRejectsMalformed: short datagrams and fragments overrunning
+// the declared message length must error, not panic or corrupt.
+func TestFrameRejectsMalformed(t *testing.T) {
+	if _, err := parseHeader(make([]byte, dataHeaderLen-1)); err == nil {
+		t.Error("short data datagram must be rejected")
+	}
+	if _, err := parseAck(make([]byte, ackLen-1)); err == nil {
+		t.Error("short ack datagram must be rejected")
+	}
+	b := make([]byte, dataHeaderLen+10)
+	putHeader(b, header{totalLen: 5, offset: 0}) // 10-byte frag into a 5-byte message
+	if _, err := parseHeader(b); err == nil {
+		t.Error("overrunning fragment must be rejected")
+	}
+}
+
+// TestChanTransport pins the default transport's shape: everything
+// hosted, nothing wired, Send unreachable by contract.
+func TestChanTransport(t *testing.T) {
+	var tr Transport = Chan{}
+	if tr.Name() != ChanName {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	if !tr.Hosted(0) || !tr.Hosted(7) {
+		t.Error("chan transport must host every rank")
+	}
+	if tr.Wire(0) || tr.Wire(7) {
+		t.Error("chan transport must wire nothing")
+	}
+	if err := tr.Send(Message{Dst: 3}); err == nil {
+		t.Error("Send on the chan transport must error")
+	}
+	if err := tr.Start(nil); err != nil {
+		t.Error(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNewFactory covers the CLI spellings.
+func TestNewFactory(t *testing.T) {
+	for _, spec := range []string{"", ChanName} {
+		tr, err := New(spec, 4)
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		if _, ok := tr.(Chan); !ok {
+			t.Errorf("New(%q) = %T, want Chan", spec, tr)
+		}
+	}
+	tr, err := New(UDPName, 4)
+	if err != nil {
+		t.Fatalf("New(udp): %v", err)
+	}
+	u, ok := tr.(*UDP)
+	if !ok {
+		t.Fatalf("New(udp) = %T, want *UDP", tr)
+	}
+	if !u.Hosted(3) || !u.Wire(3) {
+		t.Error("SelfUDP must host and wire every rank")
+	}
+	u.Close()
+	if _, err := New("smoke-signals", 4); err == nil {
+		t.Error("unknown transport spec must error")
+	}
+}
+
+// collector gathers delivered messages in order.
+type collector struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (c *collector) handle(m Message) {
+	// Copy the payload out so the bufpool buffer can be released —
+	// mirrors the engine, which consumes delivered payloads promptly.
+	cp := append([]byte(nil), m.Data...)
+	m.Data = cp
+	m.Buf.Release()
+	m.Buf = nil
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.mu.Unlock()
+}
+
+func (c *collector) waitFor(t *testing.T, n int, timeout time.Duration) []Message {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		got := len(c.msgs)
+		c.mu.Unlock()
+		if got >= n {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return append([]Message(nil), c.msgs...)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d/%d messages delivered", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// pattern fills a payload deterministically from a message index.
+func pattern(i, n int) []byte {
+	b := make([]byte, n)
+	for j := range b {
+		b[j] = byte(i*131 + j*7)
+	}
+	return b
+}
+
+// newPair builds two single-rank-hosted UDP transports addressing each
+// other, with an optional fault wrapper around each side's socket.
+func newPair(t *testing.T, faults *FaultConfig, rto time.Duration) (*UDP, *UDP) {
+	t.Helper()
+	mkConn := func(seed int64) net.PacketConn {
+		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faults == nil {
+			return conn
+		}
+		cfg := *faults
+		cfg.Seed = seed
+		return NewFaulty(conn, cfg)
+	}
+	connA, connB := mkConn(7), mkConn(11)
+	b, err := NewUDP(UDPConfig{
+		NP: 2, Hosted: []int{1}, Conn: connB, RetransmitEvery: rto,
+		Peers: map[int]string{0: connA.LocalAddr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewUDP(UDPConfig{
+		NP: 2, Hosted: []int{0}, Conn: connA, RetransmitEvery: rto,
+		Peers: map[int]string{1: connB.LocalAddr().String()},
+	})
+	if err != nil {
+		b.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestUDPPairOrderAndFragmentation streams messages of mixed sizes —
+// zero-length, sub-fragment, and multi-fragment — one way and checks
+// order and bytes.
+func TestUDPPairOrderAndFragmentation(t *testing.T) {
+	a, b := newPair(t, nil, 0)
+	var sink collector
+	if err := a.Start(func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(sink.handle); err != nil {
+		t.Fatal(err)
+	}
+
+	sizes := []int{0, 1, 100, maxPayload, maxPayload + 1, 3 * maxPayload, 64 << 10}
+	const rounds = 5
+	n := 0
+	for r := 0; r < rounds; r++ {
+		for _, sz := range sizes {
+			err := a.Send(Message{
+				Ctx: 1, Src: 0, SrcWorld: 0, Dst: 1, Tag: n, Kind: Eager,
+				Data: pattern(n, sz),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	got := sink.waitFor(t, n, 10*time.Second)
+	for i, m := range got {
+		sz := sizes[i%len(sizes)]
+		if m.Tag != i {
+			t.Fatalf("message %d: tag %d — delivery out of order", i, m.Tag)
+		}
+		if m.Kind != Eager || m.Ctx != 1 || m.Src != 0 || m.Dst != 1 {
+			t.Fatalf("message %d: metadata %+v", i, m)
+		}
+		if !bytes.Equal(m.Data, pattern(i, sz)) {
+			t.Fatalf("message %d (%d bytes): payload corrupted", i, sz)
+		}
+	}
+}
+
+// TestUDPRendezvousAckFlow drives the Rdv → RdvAck exchange both ways:
+// B acks every rendezvous payload it sees, and A must observe acks with
+// matching correlation ids.
+func TestUDPRendezvousAckFlow(t *testing.T) {
+	a, b := newPair(t, nil, 0)
+	var acks collector
+	if err := a.Start(acks.handle); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Start(func(m Message) {
+		id := m.MsgID
+		m.Buf.Release()
+		// Reply from the delivery path — Send must not block on it.
+		if err := b.Send(Message{Ctx: m.Ctx, Src: 1, SrcWorld: 1, Dst: 0, Kind: RdvAck, MsgID: id}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		err := a.Send(Message{
+			Ctx: 2, Src: 0, SrcWorld: 0, Dst: 1, Tag: i, Kind: Rdv,
+			MsgID: uint64(1000 + i), Data: pattern(i, 32<<10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := acks.waitFor(t, n, 10*time.Second)
+	for i, m := range got {
+		if m.Kind != RdvAck || m.MsgID != uint64(1000+i) || len(m.Data) != 0 {
+			t.Fatalf("ack %d: kind=%v msgID=%d len=%d", i, m.Kind, m.MsgID, len(m.Data))
+		}
+	}
+}
+
+// TestUDPByteIdentityUnderFaults is the satellite proof: 5% drop plus
+// duplication and reordering on both sockets, and delivery must still
+// be exactly-once, in order, byte-identical — with retransmits visible
+// in the metrics snapshot.
+func TestUDPByteIdentityUnderFaults(t *testing.T) {
+	faults := &FaultConfig{Drop: 0.05, Dup: 0.03, Reorder: 0.03}
+	a, b := newPair(t, faults, 5*time.Millisecond)
+	m := metrics.New(1, 0)
+	a.BindMetrics(m)
+	b.BindMetrics(m)
+
+	var sink collector
+	if err := a.Start(func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(sink.handle); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 120
+	for i := 0; i < n; i++ {
+		sz := (i % 5) * maxPayload / 2 // 0 .. 2×maxPayload, crossing fragmentation
+		err := a.Send(Message{
+			Ctx: 3, Src: 0, SrcWorld: 0, Dst: 1, Tag: i, Kind: Eager,
+			Data: pattern(i, sz),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := sink.waitFor(t, n, 30*time.Second)
+	if len(got) != n {
+		t.Fatalf("delivered %d messages, want exactly %d (no duplicates)", len(got), n)
+	}
+	for i, msg := range got {
+		sz := (i % 5) * maxPayload / 2
+		if msg.Tag != i {
+			t.Fatalf("message %d: tag %d — delivery out of order under faults", i, msg.Tag)
+		}
+		if !bytes.Equal(msg.Data, pattern(i, sz)) {
+			t.Fatalf("message %d (%d bytes): payload corrupted under faults", i, sz)
+		}
+	}
+	s := m.Snapshot()
+	if s.WireRetransmits == 0 {
+		t.Error("expected retransmits under 5% datagram loss, counter is zero")
+	}
+	if s.WireDatagramsSent == 0 || s.WireDatagramsRecv == 0 || s.WireBytesSent == 0 {
+		t.Errorf("wire counters not threaded: %+v", s)
+	}
+}
+
+// TestUDPConfigValidation pins constructor error paths.
+func TestUDPConfigValidation(t *testing.T) {
+	if _, err := NewUDP(UDPConfig{NP: 0}); err == nil {
+		t.Error("NP=0 must error")
+	}
+	if _, err := NewUDP(UDPConfig{NP: 4, Hosted: []int{4}}); err == nil {
+		t.Error("out-of-range hosted rank must error")
+	}
+	if _, err := NewUDP(UDPConfig{NP: 4, Hosted: []int{0}}); err == nil {
+		t.Error("unaddressed unhosted rank must error")
+	}
+	if _, err := NewUDP(UDPConfig{NP: 2, Peers: map[int]string{5: "127.0.0.1:1"}}); err == nil {
+		t.Error("out-of-range peer rank must error")
+	}
+	u, err := SelfUDP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Send(Message{Dst: 9}); err == nil {
+		t.Error("out-of-range destination must error")
+	}
+	if err := u.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Error("double Close must be a no-op, got:", err)
+	}
+	if err := u.Start(nil); err == nil {
+		t.Error("Start after Close must error")
+	}
+}
+
+func ExampleNew() {
+	tr, _ := New("chan", 4)
+	fmt.Println(tr.Name(), tr.Hosted(2), tr.Wire(2))
+	// Output: chan true false
+}

@@ -1,0 +1,593 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/metrics"
+)
+
+const (
+	// defaultRTO is the retransmit timeout when UDPConfig leaves it zero.
+	// Loopback RTTs are microseconds; 20ms keeps spurious retransmits
+	// rare while bounding the latency cost of a lost datagram.
+	defaultRTO = 20 * time.Millisecond
+	// sendWindow caps in-flight data datagrams per flow (2MiB at the max
+	// datagram size). Packets beyond the window stay queued unwritten
+	// until acknowledgements advance the base — Send itself never blocks,
+	// so the receive loop can safely enqueue replies.
+	sendWindow = 256
+	// socketBuf is the kernel send/recv buffer size requested for
+	// sockets the transport owns; large enough to absorb a full send
+	// window without loopback drops.
+	socketBuf = 1 << 22
+	// drainTimeout bounds Close's linger: an eager send completes at the
+	// engine level the moment it is enqueued, so teardown must give
+	// unacknowledged packets their retransmit chances instead of
+	// stranding them — a process that exits right after its last send
+	// would otherwise lose messages peers are still blocked on. The
+	// bound keeps Close from hanging on a dead peer.
+	drainTimeout = 5 * time.Second
+)
+
+// UDPConfig describes a UDP transport endpoint.
+type UDPConfig struct {
+	// NP is the world size (required).
+	NP int
+	// Hosted lists the world ranks whose bodies run in this process.
+	// Nil means all ranks are hosted (single-process setups).
+	Hosted []int
+	// Peers maps world ranks to "host:port" addresses of the processes
+	// hosting them. Ranks without an entry must be hosted locally.
+	Peers map[int]string
+	// Conn, when non-nil, is an already-bound socket the transport takes
+	// over (the soak harness reuses its bootstrap socket so peers keep a
+	// stable address). When nil the transport binds Listen.
+	Conn net.PacketConn
+	// Listen is the address to bind when Conn is nil; empty means an
+	// ephemeral loopback port ("127.0.0.1:0").
+	Listen string
+	// ForceWire routes every message through the socket even for hosted
+	// ranks, defaulting each rank's peer address to the transport's own
+	// socket. Single-process benchmarks use this to exercise the real
+	// datagram path without spawning processes.
+	ForceWire bool
+	// RetransmitEvery overrides the retransmit timeout (default 20ms).
+	RetransmitEvery time.Duration
+}
+
+// UDP is the datagram transport backend: reliable, in-order message
+// delivery over unreliable packets, per the package-level framing and
+// retransmit contract. One UDP value serves every world booted on it.
+type UDP struct {
+	np     int
+	hosted []bool
+	force  bool
+	conn   net.PacketConn
+	rto    time.Duration
+	peers  []net.Addr
+
+	hmu     sync.RWMutex
+	handler Handler
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	sflows  map[string]*sendFlow
+	rflows  map[string]*recvFlow
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	met atomic.Pointer[metrics.Metrics]
+}
+
+// sendFlow is the sender half of one address pair's packet stream.
+type sendFlow struct {
+	addr net.Addr
+
+	mu      sync.Mutex
+	nextSeq uint64 // next sequence number to assign (first packet is 1)
+	base    uint64 // lowest unacknowledged sequence number
+	pending map[uint64]*pendingPkt
+}
+
+// pendingPkt is a framed datagram retained until cumulatively acked.
+// A zero sent time marks a packet queued beyond the send window and
+// not yet written.
+type pendingPkt struct {
+	buf  *bufpool.Buf
+	n    int
+	sent time.Time
+}
+
+// recvFlow is the receiver half: in-order delivery position, held
+// out-of-order datagrams, and the current message reassembly buffer.
+type recvFlow struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	ooo     map[uint64]*bufpool.Buf
+	asm     *bufpool.Buf
+	asmGot  int
+}
+
+// NewUDP builds a UDP transport from cfg. The transport is idle until
+// Start; Send may be called before Start (outbound only).
+func NewUDP(cfg UDPConfig) (*UDP, error) {
+	if cfg.NP <= 0 {
+		return nil, fmt.Errorf("transport: non-positive world size %d", cfg.NP)
+	}
+	conn := cfg.Conn
+	if conn == nil {
+		listen := cfg.Listen
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		var err error
+		conn, err = net.ListenPacket("udp", listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+	}
+	if uc, ok := conn.(*net.UDPConn); ok {
+		// Best effort: absorb a full send window without loopback drops.
+		_ = uc.SetReadBuffer(socketBuf)
+		_ = uc.SetWriteBuffer(socketBuf)
+	}
+	rto := cfg.RetransmitEvery
+	if rto <= 0 {
+		rto = defaultRTO
+	}
+	t := &UDP{
+		np:     cfg.NP,
+		force:  cfg.ForceWire,
+		conn:   conn,
+		rto:    rto,
+		hosted: make([]bool, cfg.NP),
+		peers:  make([]net.Addr, cfg.NP),
+		sflows: make(map[string]*sendFlow),
+		rflows: make(map[string]*recvFlow),
+		done:   make(chan struct{}),
+	}
+	if cfg.Hosted == nil {
+		for r := range t.hosted {
+			t.hosted[r] = true
+		}
+	} else {
+		for _, r := range cfg.Hosted {
+			if r < 0 || r >= cfg.NP {
+				conn.Close()
+				return nil, fmt.Errorf("transport: hosted rank %d out of range [0,%d)", r, cfg.NP)
+			}
+			t.hosted[r] = true
+		}
+	}
+	for r, spec := range cfg.Peers {
+		if r < 0 || r >= cfg.NP {
+			conn.Close()
+			return nil, fmt.Errorf("transport: peer rank %d out of range [0,%d)", r, cfg.NP)
+		}
+		addr, err := net.ResolveUDPAddr("udp", spec)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: peer %d: %w", r, err)
+		}
+		t.peers[r] = addr
+	}
+	if cfg.ForceWire {
+		self := conn.LocalAddr()
+		for r := range t.peers {
+			if t.peers[r] == nil {
+				t.peers[r] = self
+			}
+		}
+	}
+	for r := range t.peers {
+		if t.peers[r] == nil && !t.hosted[r] {
+			conn.Close()
+			return nil, fmt.Errorf("transport: rank %d is neither hosted nor addressed", r)
+		}
+	}
+	return t, nil
+}
+
+// SelfUDP builds a single-process UDP transport hosting all np ranks
+// with ForceWire on: every message crosses the process's own socket, so
+// benchmarks and tests exercise the full framing/reliability path
+// without spawning processes.
+func SelfUDP(np int) (*UDP, error) {
+	return NewUDP(UDPConfig{NP: np, ForceWire: true})
+}
+
+// Name implements Transport.
+func (t *UDP) Name() string { return UDPName }
+
+// Addr returns the transport's bound socket address — what peers put in
+// their UDPConfig.Peers entries.
+func (t *UDP) Addr() net.Addr { return t.conn.LocalAddr() }
+
+// Hosted implements Transport.
+func (t *UDP) Hosted(rank int) bool {
+	return rank >= 0 && rank < t.np && t.hosted[rank]
+}
+
+// Wire implements Transport: unhosted ranks always cross the wire, and
+// ForceWire routes hosted ranks through the socket too.
+func (t *UDP) Wire(dst int) bool {
+	if dst < 0 || dst >= t.np {
+		return false
+	}
+	return t.force || !t.hosted[dst]
+}
+
+// BindMetrics points wire counters at m (shard 0: wire activity is
+// process-level, not rank-level). The engine binds its world's Metrics
+// here at boot; nil detaches.
+func (t *UDP) BindMetrics(m *metrics.Metrics) { t.met.Store(m) }
+
+func (t *UDP) count(c metrics.Counter, v int64) {
+	if m := t.met.Load(); m != nil {
+		m.Add(0, c, v)
+	}
+}
+
+// Start implements Transport: installs h and launches the receive and
+// retransmit loops (once; a later Start only replaces the handler).
+func (t *UDP) Start(h Handler) error {
+	t.hmu.Lock()
+	t.handler = h
+	t.hmu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errors.New("transport: udp transport is closed")
+	}
+	if !t.started {
+		t.started = true
+		t.wg.Add(2)
+		go t.recvLoop()
+		go t.retransmitLoop()
+	}
+	return nil
+}
+
+// Send implements Transport: frames m into sequenced fragments on the
+// destination's flow and writes those inside the send window. It copies
+// m.Data before returning and never blocks on the receive path.
+func (t *UDP) Send(m Message) error {
+	if m.Dst < 0 || m.Dst >= t.np {
+		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", m.Dst, t.np)
+	}
+	addr := t.peers[m.Dst]
+	if addr == nil {
+		return fmt.Errorf("transport: no peer address for rank %d", m.Dst)
+	}
+	f := t.sendFlowFor(addr)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := len(m.Data)
+	off := 0
+	for {
+		frag := total - off
+		if frag > maxPayload {
+			frag = maxPayload
+		}
+		seq := f.nextSeq
+		f.nextSeq++
+		n := dataHeaderLen + frag
+		pb := bufpool.Get(n)
+		putHeader(pb.B, header{
+			seq: seq, msgID: m.MsgID, kind: m.Kind, ctx: m.Ctx,
+			src: m.Src, srcWorld: m.SrcWorld, dst: m.Dst, tag: m.Tag,
+			totalLen: total, offset: off,
+		})
+		copy(pb.B[dataHeaderLen:n], m.Data[off:off+frag])
+		p := &pendingPkt{buf: pb, n: n}
+		f.pending[seq] = p
+		if seq < f.base+sendWindow {
+			t.writePkt(f, p)
+		}
+		off += frag
+		if off >= total {
+			return nil
+		}
+	}
+}
+
+// writePkt writes p to f's peer and stamps it for the retransmit clock.
+// Write errors are ignored: a dropped datagram is indistinguishable
+// from a lost one, and retransmit covers both. Callers hold f.mu.
+func (t *UDP) writePkt(f *sendFlow, p *pendingPkt) {
+	if _, err := t.conn.WriteTo(p.buf.B[:p.n], f.addr); err == nil {
+		t.count(metrics.WireDatagramsSent, 1)
+		t.count(metrics.WireBytesSent, int64(p.n))
+	}
+	p.sent = time.Now()
+}
+
+// Close implements Transport: drains unacknowledged packets (bounded
+// by drainTimeout), stops the loops, closes the socket, and releases
+// every retained wire buffer.
+func (t *UDP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	started := t.started
+	t.mu.Unlock()
+	if started {
+		// The loops are still running here, so retransmits keep flowing
+		// and inbound acks keep retiring packets while we wait.
+		deadline := time.Now().Add(drainTimeout)
+		for t.hasPending() && time.Now().Before(deadline) {
+			time.Sleep(t.rto / 4)
+		}
+	}
+	close(t.done)
+	err := t.conn.Close()
+	if started {
+		t.wg.Wait()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, f := range t.sflows {
+		f.mu.Lock()
+		for _, p := range f.pending {
+			p.buf.Release()
+		}
+		f.pending = make(map[uint64]*pendingPkt)
+		f.mu.Unlock()
+	}
+	for _, f := range t.rflows {
+		f.mu.Lock()
+		for _, cp := range f.ooo {
+			cp.Release()
+		}
+		f.ooo = make(map[uint64]*bufpool.Buf)
+		if f.asm != nil {
+			f.asm.Release()
+			f.asm = nil
+		}
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// hasPending reports whether any flow still holds unacknowledged
+// packets.
+func (t *UDP) hasPending() bool {
+	t.mu.Lock()
+	flows := make([]*sendFlow, 0, len(t.sflows))
+	for _, f := range t.sflows {
+		flows = append(flows, f)
+	}
+	t.mu.Unlock()
+	for _, f := range flows {
+		f.mu.Lock()
+		n := len(f.pending)
+		f.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *UDP) sendFlowFor(addr net.Addr) *sendFlow {
+	key := addr.String()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := t.sflows[key]
+	if f == nil {
+		f = &sendFlow{addr: addr, nextSeq: 1, base: 1, pending: make(map[uint64]*pendingPkt)}
+		t.sflows[key] = f
+	}
+	return f
+}
+
+func (t *UDP) recvFlowFor(addr net.Addr) *recvFlow {
+	key := addr.String()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := t.rflows[key]
+	if f == nil {
+		f = &recvFlow{nextSeq: 1, ooo: make(map[uint64]*bufpool.Buf)}
+		t.rflows[key] = f
+	}
+	return f
+}
+
+// recvLoop reads datagrams and dispatches by packet type. Unknown first
+// bytes (e.g. the soak harness's textual bootstrap packets sharing this
+// socket) are dropped.
+func (t *UDP) recvLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, maxDatagram)
+	var ackBuf [ackLen]byte
+	for {
+		n, addr, err := t.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if n < 1 {
+			continue
+		}
+		switch buf[0] {
+		case ptAck:
+			ack, err := parseAck(buf[:n])
+			if err != nil {
+				continue
+			}
+			t.count(metrics.WireDatagramsRecv, 1)
+			t.count(metrics.WireBytesRecv, int64(n))
+			t.handleAck(addr, ack)
+		case ptData:
+			t.count(metrics.WireDatagramsRecv, 1)
+			t.count(metrics.WireBytesRecv, int64(n))
+			t.handleData(addr, buf[:n], ackBuf[:])
+		}
+	}
+}
+
+// handleAck retires cumulatively acknowledged packets and writes any
+// queued packets the advanced window now admits.
+func (t *UDP) handleAck(addr net.Addr, ack uint64) {
+	f := t.sendFlowFor(addr)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ack >= f.nextSeq {
+		ack = f.nextSeq - 1
+	}
+	retired := false
+	for seq := f.base; seq <= ack; seq++ {
+		if p, ok := f.pending[seq]; ok {
+			p.buf.Release()
+			delete(f.pending, seq)
+			retired = true
+		}
+	}
+	if ack+1 > f.base {
+		f.base = ack + 1
+		for seq := f.base; seq < f.base+sendWindow && seq < f.nextSeq; seq++ {
+			if p, ok := f.pending[seq]; ok && p.sent.IsZero() {
+				t.writePkt(f, p)
+			}
+		}
+	}
+	if retired {
+		t.count(metrics.WireAckRoundTrips, 1)
+	}
+}
+
+// handleData advances the flow's in-order position, holding early
+// packets and re-acking duplicates, then acknowledges the cumulative
+// position so the sender can retire and refill its window.
+func (t *UDP) handleData(addr net.Addr, pkt, ackBuf []byte) {
+	h, err := parseHeader(pkt)
+	if err != nil {
+		return
+	}
+	f := t.recvFlowFor(addr)
+	f.mu.Lock()
+	switch {
+	case h.seq < f.nextSeq:
+		// Duplicate (our earlier ack was lost): drop, re-ack below.
+	case h.seq > f.nextSeq:
+		if _, held := f.ooo[h.seq]; !held {
+			cp := bufpool.Get(len(pkt))
+			copy(cp.B, pkt)
+			f.ooo[h.seq] = cp
+		}
+	default:
+		t.deliverInOrder(f, h, pkt[dataHeaderLen:])
+		f.nextSeq++
+		for {
+			cp, held := f.ooo[f.nextSeq]
+			if !held {
+				break
+			}
+			delete(f.ooo, f.nextSeq)
+			if h2, err := parseHeader(cp.B); err == nil {
+				t.deliverInOrder(f, h2, cp.B[dataHeaderLen:])
+			}
+			cp.Release()
+			f.nextSeq++
+		}
+	}
+	ack := f.nextSeq - 1
+	f.mu.Unlock()
+	putAck(ackBuf, ack)
+	if _, err := t.conn.WriteTo(ackBuf[:ackLen], addr); err == nil {
+		t.count(metrics.WireDatagramsSent, 1)
+		t.count(metrics.WireBytesSent, ackLen)
+	}
+}
+
+// deliverInOrder folds one in-sequence fragment into the flow's message
+// under reassembly and hands the completed message to the handler.
+// Fragments of a message are contiguous in the flow (Send enqueues them
+// under the flow lock), so offset 0 always opens a fresh message.
+func (t *UDP) deliverInOrder(f *recvFlow, h header, frag []byte) {
+	if h.offset == 0 {
+		if f.asm != nil {
+			f.asm.Release()
+		}
+		f.asm = bufpool.Get(h.totalLen)
+		f.asmGot = 0
+	}
+	if f.asm == nil || h.offset != f.asmGot || h.totalLen != len(f.asm.B) {
+		return
+	}
+	copy(f.asm.B[h.offset:], frag)
+	f.asmGot += len(frag)
+	if f.asmGot < h.totalLen {
+		return
+	}
+	buf := f.asm
+	f.asm = nil
+	t.hmu.RLock()
+	hnd := t.handler
+	t.hmu.RUnlock()
+	if hnd == nil {
+		buf.Release()
+		return
+	}
+	hnd(Message{
+		Ctx: h.ctx, Src: h.src, SrcWorld: h.srcWorld, Dst: h.dst,
+		Tag: h.tag, Kind: h.kind, MsgID: h.msgID,
+		Data: buf.B[:h.totalLen], Buf: buf,
+	})
+}
+
+// retransmitLoop rewrites written-but-unacked packets older than the
+// retransmit timeout, scanning at half the timeout for resolution.
+func (t *UDP) retransmitLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.rto / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case now := <-tick.C:
+			t.mu.Lock()
+			flows := make([]*sendFlow, 0, len(t.sflows))
+			for _, f := range t.sflows {
+				flows = append(flows, f)
+			}
+			t.mu.Unlock()
+			for _, f := range flows {
+				f.mu.Lock()
+				for seq := f.base; seq < f.base+sendWindow && seq < f.nextSeq; seq++ {
+					p, ok := f.pending[seq]
+					if !ok {
+						continue
+					}
+					if p.sent.IsZero() {
+						t.writePkt(f, p)
+						continue
+					}
+					if now.Sub(p.sent) >= t.rto {
+						t.writePkt(f, p)
+						t.count(metrics.WireRetransmits, 1)
+					}
+				}
+				f.mu.Unlock()
+			}
+		}
+	}
+}
