@@ -12,10 +12,12 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/sched"
 	"repro/internal/topology"
+	"repro/internal/transport"
 )
 
 // ---------------------------------------------------------------------
@@ -630,6 +632,73 @@ func BenchmarkPersistentBcast(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "broadcasts/sec")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Wire-path throughput: the adaptive UDP transport against its own
+// pinned baseline. Every rank is hosted in-process but ForceWire routes
+// each broadcast hop through the real datagram socket, so this measures
+// the transport — framing, adaptive RTO, congestion windowing, ACK
+// coalescing, sendmmsg batching — not the network. "udp-base" pins the
+// PR 9 behavior (fixed 20ms timeout, fixed 256-packet window, one ack
+// and one syscall per datagram); the per-op wire metrics expose where
+// the adaptive path's gain comes from. Run it with
+//
+//	go test -bench=BenchmarkWireThroughput -benchmem .
+//
+// and compare against BENCH_wire_throughput.json (the recorded
+// trajectory of the adaptive wire-path work).
+// ---------------------------------------------------------------------
+
+func BenchmarkWireThroughput(b *testing.B) {
+	const np = 8
+	for _, spec := range []string{transport.UDPBaseName, transport.UDPName} {
+		for _, n := range []int{4 << 10, 64 << 10, 1 << 20} {
+			b.Run(fmt.Sprintf("transport=%s/size=%d", spec, n), func(b *testing.B) {
+				tr, err := transport.New(spec, np)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer tr.Close()
+				m := metrics.New(np, 0)
+				w, err := engine.NewWorld(engine.Options{
+					NP: np, Transport: tr, Metrics: m, Timeout: 10 * time.Minute,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(n))
+				b.ResetTimer()
+				err = w.Run(func(c mpi.Comm) error {
+					buf := make([]byte, n)
+					if c.Rank() == 0 {
+						for i := range buf {
+							buf[i] = byte(i)
+						}
+					}
+					if err := collective.Barrier(c); err != nil {
+						return err
+					}
+					for i := 0; i < b.N; i++ {
+						if err := collective.BcastScatterRingAllgatherOpt(c, buf, 0); err != nil {
+							return err
+						}
+					}
+					return collective.Barrier(c)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				s := m.Snapshot()
+				op := float64(b.N)
+				b.ReportMetric(float64(s.WireDatagramsSent)/op, "datagrams/op")
+				b.ReportMetric(float64(s.WireAcksSent)/op, "acks/op")
+				b.ReportMetric(float64(s.WireRetransmits)/op, "retx/op")
+				b.ReportMetric(float64(s.WireBatchedWrites)/op, "batched-writes/op")
+			})
+		}
 	}
 }
 

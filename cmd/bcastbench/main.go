@@ -171,9 +171,9 @@ func main() {
 		os.Exit(2)
 	}
 	switch *transFlag {
-	case "", transport.ChanName, transport.UDPName:
+	case "", transport.ChanName, transport.UDPName, transport.UDPBaseName:
 	default:
-		fmt.Fprintf(os.Stderr, "bcastbench: unknown -transport %q (chan|udp)\n", *transFlag)
+		fmt.Fprintf(os.Stderr, "bcastbench: unknown -transport %q (chan|udp|udp-base)\n", *transFlag)
 		os.Exit(2)
 	}
 	if *minFlag < 0 || *maxFlag < *minFlag {

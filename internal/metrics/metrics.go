@@ -67,14 +67,39 @@ const (
 	WireBytesRecv
 	WireRetransmits
 	WireAckRoundTrips
+	// Adaptive wire-path counters: ACK datagrams actually sent vs acks
+	// coalesced away (in-order data packets whose cumulative ack was
+	// deferred), batched send/recv syscalls (sendmmsg/recvmmsg), and
+	// congestion-window halvings (loss events).
+	WireAcksSent
+	WireAcksCoalesced
+	WireBatchedWrites
+	WireBatchedReads
+	WireCwndHalvings
+	// Adaptive wire-path gauges (max over the run): congestion-window
+	// high water in packets, the window's low water encoded inverted as
+	// CwndLowWaterBase-cwnd (max of the inverse is the minimum; Snapshot
+	// decodes it back), and the largest smoothed-RTT / retransmit-timeout
+	// estimate any flow reached, in microseconds.
+	WireCwndHighWater
+	WireCwndLowWaterInv
+	WireSRTTMaxMicros
+	WireRTOMaxMicros
 
 	numCounters
 )
 
+// CwndLowWaterBase is the encoding base for WireCwndLowWaterInv: writers
+// record Max(CwndLowWaterBase - cwnd) so the shard-merged maximum is the
+// observed minimum window. It only needs to exceed any plausible window
+// in packets.
+const CwndLowWaterBase = 1 << 20
+
 // maxGauge reports whether c merges by maximum rather than by sum.
 func maxGauge(c Counter) bool {
 	switch c {
-	case TagStreamHighWater, PostedQueueMax, ArrivalQueueMax:
+	case TagStreamHighWater, PostedQueueMax, ArrivalQueueMax,
+		WireCwndHighWater, WireCwndLowWaterInv, WireSRTTMaxMicros, WireRTOMaxMicros:
 		return true
 	}
 	return false
@@ -193,6 +218,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.WireBytesRecv = merged[WireBytesRecv]
 	s.WireRetransmits = merged[WireRetransmits]
 	s.WireAckRoundTrips = merged[WireAckRoundTrips]
+	s.WireAcksSent = merged[WireAcksSent]
+	s.WireAcksCoalesced = merged[WireAcksCoalesced]
+	s.WireBatchedWrites = merged[WireBatchedWrites]
+	s.WireBatchedReads = merged[WireBatchedReads]
+	s.WireCwndHalvings = merged[WireCwndHalvings]
+	s.WireCwndHighWater = merged[WireCwndHighWater]
+	if inv := merged[WireCwndLowWaterInv]; inv > 0 {
+		s.WireCwndLowWater = CwndLowWaterBase - inv
+	}
+	s.WireSRTTMaxMicros = merged[WireSRTTMaxMicros]
+	s.WireRTOMaxMicros = merged[WireRTOMaxMicros]
 	for r := range m.rings {
 		ring := &m.rings[r]
 		s.Spans = append(s.Spans, ring.Spans()...)

@@ -59,6 +59,22 @@ func TestMaxIsConcurrencySafe(t *testing.T) {
 	}
 }
 
+// TestWireCwndLowWaterDecode pins the inverted low-water encoding: the
+// merged maximum of CwndLowWaterBase-cwnd decodes to the smallest window
+// observed, and a snapshot with no congestion-control activity reports 0.
+func TestWireCwndLowWaterDecode(t *testing.T) {
+	m := New(2, 0)
+	if got := m.Snapshot().WireCwndLowWater; got != 0 {
+		t.Errorf("untouched low water = %d, want 0", got)
+	}
+	m.Max(0, WireCwndLowWaterInv, CwndLowWaterBase-32)
+	m.Max(0, WireCwndLowWaterInv, CwndLowWaterBase-8) // a lower window must win
+	m.Max(0, WireCwndLowWaterInv, CwndLowWaterBase-64)
+	if got := m.Snapshot().WireCwndLowWater; got != 8 {
+		t.Errorf("low water = %d, want 8 (minimum over observations)", got)
+	}
+}
+
 // TestSpanRingWraparound pins the drop-oldest contract: a full ring
 // overwrites its oldest entries, counts every drop, and Spans returns
 // the retained tail oldest-first.
@@ -147,6 +163,15 @@ func goldenSnapshot() Snapshot {
 		WireBytesRecv:      3<<20 - 8192,
 		WireRetransmits:    11,
 		WireAckRoundTrips:  57,
+		WireAcksSent:       60,
+		WireAcksCoalesced:  349,
+		WireBatchedWrites:  14,
+		WireBatchedReads:   19,
+		WireCwndHalvings:   2,
+		WireCwndHighWater:  256,
+		WireCwndLowWater:   16,
+		WireSRTTMaxMicros:  740,
+		WireRTOMaxMicros:   1480,
 		TagStreamHighWater: 7,
 		PostedQueueMax:     3,
 		ArrivalQueueMax:    9,

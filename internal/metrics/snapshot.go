@@ -52,6 +52,18 @@ type Snapshot struct {
 	WireRetransmits                      int64
 	WireAckRoundTrips                    int64
 
+	// Adaptive wire-path counters: ACK datagrams sent vs acks coalesced
+	// away by delayed cumulative acking, batched send/recv syscalls, and
+	// congestion-window halvings (loss events).
+	WireAcksSent, WireAcksCoalesced     int64
+	WireBatchedWrites, WireBatchedReads int64
+	WireCwndHalvings                    int64
+	// Adaptive wire-path gauges: congestion-window high/low water in
+	// packets (0 when congestion control never ran) and the largest
+	// smoothed-RTT / RTO estimate any flow reached, in microseconds.
+	WireCwndHighWater, WireCwndLowWater int64
+	WireSRTTMaxMicros, WireRTOMaxMicros int64
+
 	// Engine gauges (maximum over ranks).
 	TagStreamHighWater int64
 	PostedQueueMax     int64
@@ -96,6 +108,9 @@ func (s Snapshot) String() string {
 	if s.wireActive() {
 		fmt.Fprintf(&b, "  wire: datagrams-sent=%d datagrams-recv=%d bytes-sent=%d bytes-recv=%d retransmits=%d ack-rtts=%d\n",
 			s.WireDatagramsSent, s.WireDatagramsRecv, s.WireBytesSent, s.WireBytesRecv, s.WireRetransmits, s.WireAckRoundTrips)
+		fmt.Fprintf(&b, "  wire-cc: srtt-max-us=%d rto-max-us=%d cwnd-hw=%d cwnd-lw=%d cwnd-halvings=%d acks-sent=%d acks-coalesced=%d batched-writes=%d batched-reads=%d\n",
+			s.WireSRTTMaxMicros, s.WireRTOMaxMicros, s.WireCwndHighWater, s.WireCwndLowWater,
+			s.WireCwndHalvings, s.WireAcksSent, s.WireAcksCoalesced, s.WireBatchedWrites, s.WireBatchedReads)
 	}
 	fmt.Fprintf(&b, "  queues: posted-max=%d arrival-max=%d tag-stream-hw=%d\n",
 		s.PostedQueueMax, s.ArrivalQueueMax, s.TagStreamHighWater)
@@ -214,6 +229,21 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	p.printf("bcast_wire_retransmits_total %d\n", s.WireRetransmits)
 	p.header("bcast_wire_ack_round_trips_total", "ACKs received that retired at least one pending datagram.", "counter")
 	p.printf("bcast_wire_ack_round_trips_total %d\n", s.WireAckRoundTrips)
+	p.header("bcast_wire_acks_total", "ACK datagrams, split into sent and coalesced-away (deferred by delayed acking).", "counter")
+	p.printf("bcast_wire_acks_total{result=\"sent\"} %d\n", s.WireAcksSent)
+	p.printf("bcast_wire_acks_total{result=\"coalesced\"} %d\n", s.WireAcksCoalesced)
+	p.header("bcast_wire_batched_syscalls_total", "Batched datagram syscalls (sendmmsg/recvmmsg), by direction.", "counter")
+	p.printf("bcast_wire_batched_syscalls_total{direction=\"write\"} %d\n", s.WireBatchedWrites)
+	p.printf("bcast_wire_batched_syscalls_total{direction=\"read\"} %d\n", s.WireBatchedReads)
+	p.header("bcast_wire_cwnd_halvings_total", "Congestion-window halvings (retransmit-timeout loss events).", "counter")
+	p.printf("bcast_wire_cwnd_halvings_total %d\n", s.WireCwndHalvings)
+	p.header("bcast_wire_cwnd_packets", "Congestion-window water marks in packets, over every flow.", "gauge")
+	p.printf("bcast_wire_cwnd_packets{bound=\"high\"} %d\n", s.WireCwndHighWater)
+	p.printf("bcast_wire_cwnd_packets{bound=\"low\"} %d\n", s.WireCwndLowWater)
+	p.header("bcast_wire_srtt_max_seconds", "Largest smoothed round-trip-time estimate any flow reached.", "gauge")
+	p.printf("bcast_wire_srtt_max_seconds %g\n", float64(s.WireSRTTMaxMicros)/1e6)
+	p.header("bcast_wire_rto_max_seconds", "Largest adaptive retransmit-timeout estimate any flow reached.", "gauge")
+	p.printf("bcast_wire_rto_max_seconds %g\n", float64(s.WireRTOMaxMicros)/1e6)
 
 	p.header("bcast_tag_stream_high_water", "Highest collective tag-stream id reached by any rank.", "gauge")
 	p.printf("bcast_tag_stream_high_water %d\n", s.TagStreamHighWater)

@@ -1,0 +1,223 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched datagram I/O over sendmmsg(2)/recvmmsg(2), driven through
+// syscall.RawConn so the sockets stay registered with the runtime
+// netpoller: syscalls are non-blocking (MSG_DONTWAIT) and EAGAIN parks
+// the goroutine on poller readiness instead of spinning. The frozen
+// stdlib syscall package has no mmsghdr wrappers (and on some arches
+// not even the sendmmsg number), so the structures and numbers live
+// here; anything unexpected degrades to the portable WriteTo/ReadFrom
+// path rather than failing.
+
+package transport
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// datagram length, padded to 8-byte alignment on 64-bit.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// rawSockaddr is scratch space big enough for any UDP sockaddr.
+type rawSockaddr [syscall.SizeofSockaddrInet6]byte
+
+// batchIO provides sendmmsg/recvmmsg access to one UDP socket. Write
+// scratch lives on the caller's stack (flows flush concurrently);
+// receive scratch lives here because readBatch has a single caller,
+// the transport's receive loop.
+type batchIO struct {
+	rc syscall.RawConn
+
+	rbufs  [batchSize][]byte
+	riovs  [batchSize]syscall.Iovec
+	rhdrs  [batchSize]mmsghdr
+	rnames [batchSize]rawSockaddr
+
+	// addrs caches decoded source addresses so steady-state receives
+	// from a known peer allocate nothing.
+	addrs []cachedAddr
+}
+
+type cachedAddr struct {
+	raw  rawSockaddr
+	n    uint32
+	addr *net.UDPAddr
+}
+
+// newBatchIO returns a batchIO for conn, or nil when conn is not a raw
+// UDP socket (e.g. wrapped in a Faulty) — callers then use the portable
+// single-datagram path.
+func newBatchIO(conn net.PacketConn) *batchIO {
+	uc, ok := conn.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	b := &batchIO{rc: rc}
+	for i := range b.rbufs {
+		b.rbufs[i] = make([]byte, maxDatagram)
+		b.riovs[i].Base = &b.rbufs[i][0]
+		b.riovs[i].SetLen(maxDatagram)
+		b.rhdrs[i].hdr.Iov = &b.riovs[i]
+		b.rhdrs[i].hdr.Iovlen = 1
+		b.rhdrs[i].hdr.Name = &b.rnames[i][0]
+	}
+	return b
+}
+
+// encodeSockaddr fills rsa with addr's kernel representation and
+// returns its length; ok is false for address shapes the batch path
+// does not handle (callers fall back).
+func encodeSockaddr(addr net.Addr, rsa *rawSockaddr) (uint32, bool) {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok || ua.Zone != "" {
+		return 0, false
+	}
+	port := uint16(ua.Port)
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Port: port<<8 | port>>8}
+		copy(sa.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4, true
+	}
+	if ip6 := ua.IP.To16(); ip6 != nil {
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Port: port<<8 | port>>8}
+		copy(sa.Addr[:], ip6)
+		return syscall.SizeofSockaddrInet6, true
+	}
+	return 0, false
+}
+
+// decodeSockaddr resolves a kernel-filled sockaddr through the address
+// cache, adding an entry on first sight of a peer.
+func (b *batchIO) decodeSockaddr(raw *rawSockaddr, n uint32) net.Addr {
+	for i := range b.addrs {
+		c := &b.addrs[i]
+		if c.n == n && c.raw == *raw {
+			return c.addr
+		}
+	}
+	fam := uint16(raw[0]) | uint16(raw[1])<<8
+	var ua *net.UDPAddr
+	switch fam {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(raw))
+		ua = &net.UDPAddr{
+			IP:   append(net.IP(nil), sa.Addr[:]...),
+			Port: int(sa.Port>>8 | sa.Port<<8),
+		}
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(raw))
+		ua = &net.UDPAddr{
+			IP:   append(net.IP(nil), sa.Addr[:]...),
+			Port: int(sa.Port>>8 | sa.Port<<8),
+		}
+	default:
+		return nil
+	}
+	// Bound the cache; a rotating peer set beyond this just allocates.
+	if len(b.addrs) < 256 {
+		b.addrs = append(b.addrs, cachedAddr{raw: *raw, n: n, addr: ua})
+	}
+	return ua
+}
+
+// writeBatch sends bufs to addr in sendmmsg chunks, reporting how many
+// datagrams the kernel accepted and how many syscalls that took. ok is
+// false when the batch path cannot be used at all (callers fall back to
+// WriteTo); a short or failed send after the first accepted datagram
+// still reports ok, and the unaccepted tail is left to the retransmit
+// clock.
+func (b *batchIO) writeBatch(bufs [][]byte, addr net.Addr) (sent, calls int, ok bool) {
+	var rsa rawSockaddr
+	salen, ok := encodeSockaddr(addr, &rsa)
+	if !ok {
+		return 0, 0, false
+	}
+	var iovs [batchSize]syscall.Iovec
+	var hdrs [batchSize]mmsghdr
+	for sent < len(bufs) {
+		n := len(bufs) - sent
+		if n > batchSize {
+			n = batchSize
+		}
+		for i := 0; i < n; i++ {
+			p := bufs[sent+i]
+			iovs[i].Base = &p[0]
+			iovs[i].SetLen(len(p))
+			hdrs[i].hdr = syscall.Msghdr{Name: &rsa[0], Namelen: salen, Iov: &iovs[i], Iovlen: 1}
+		}
+		wrote := 0
+		var serr syscall.Errno
+		err := b.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&hdrs[0])), uintptr(n), syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // park on the netpoller until writable
+			}
+			serr = e
+			wrote = int(r1)
+			return true
+		})
+		if err != nil || serr != 0 {
+			return sent, calls, sent > 0
+		}
+		calls++
+		sent += wrote
+		if wrote < n {
+			return sent, calls, true
+		}
+	}
+	return sent, calls, true
+}
+
+// readBatch fills pkts from one recvmmsg call, blocking on the
+// netpoller until at least one datagram is readable. The returned
+// packet slices alias the batchIO's buffers until the next call.
+func (b *batchIO) readBatch(pkts []batchPkt) (int, error) {
+	n := len(pkts)
+	if n > batchSize {
+		n = batchSize
+	}
+	for i := 0; i < n; i++ {
+		b.rhdrs[i].hdr.Namelen = uint32(len(b.rnames[i]))
+		b.riovs[i].SetLen(maxDatagram)
+	}
+	got := 0
+	var serr syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&b.rhdrs[0])), uintptr(n), syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park on the netpoller until readable
+		}
+		serr = e
+		got = int(r1)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if serr != 0 {
+		if serr == syscall.ENOSYS || serr == syscall.EINVAL {
+			return 0, errBatchUnsupported
+		}
+		return 0, serr
+	}
+	for i := 0; i < got; i++ {
+		pkts[i].b = b.rbufs[i][:b.rhdrs[i].n]
+		pkts[i].addr = b.decodeSockaddr(&b.rnames[i], b.rhdrs[i].hdr.Namelen)
+	}
+	return got, nil
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// mmsg syscall numbers, defined locally because the frozen stdlib
+// syscall table on this arch predates sendmmsg(2).
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// mmsg syscall numbers, defined locally because the frozen stdlib
+// syscall table on this arch predates sendmmsg(2).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

@@ -1,0 +1,16 @@
+//go:build !(linux && (amd64 || arm64))
+
+package transport
+
+import "net"
+
+// batchIO is unavailable on this platform: newBatchIO reports no batch
+// capability and the transport uses its WriteTo/ReadFrom path. The
+// method set exists so the portable code compiles unchanged.
+type batchIO struct{}
+
+func newBatchIO(net.PacketConn) *batchIO { return nil }
+
+func (*batchIO) writeBatch([][]byte, net.Addr) (int, int, bool) { return 0, 0, false }
+
+func (*batchIO) readBatch([]batchPkt) (int, error) { return 0, errBatchUnsupported }

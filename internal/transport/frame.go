@@ -13,14 +13,28 @@ const (
 	ptAck  = 2
 )
 
-// Wire sizes. maxDatagram keeps every fragment comfortably inside a
-// loopback MTU and inside one bufpool size class; messages larger than
-// maxPayload are split into sequential fragments of the same flow.
+// Wire sizes. maxDatagram is the receive-buffer ceiling and the default
+// fragment size: large enough that the per-datagram kernel cost stops
+// dominating bulk flows, still comfortably inside the 64KiB loopback
+// MTU and one bufpool size class. Senders may fragment smaller
+// (UDPConfig.PacketBytes — real paths with a 1500-byte MTU want
+// datagrams that dodge IP fragmentation); receivers always accept up to
+// maxDatagram. Messages larger than a fragment are split into
+// sequential fragments of the same flow.
 const (
 	dataHeaderLen = 54
 	ackLen        = 9
-	maxDatagram   = 8 << 10
+	maxDatagram   = 32 << 10
 	maxPayload    = maxDatagram - dataHeaderLen
+	// basePacket is the pre-adaptive (PR 9) datagram size, kept as the
+	// benchmark baseline's fragmentation and the conservative choice for
+	// MTU-constrained paths.
+	basePacket = 8 << 10
+	// maxWireMessage caps the totalLen a data header may claim. Untrusted
+	// bytes reach parseHeader straight off the socket, and totalLen sizes
+	// the receiver's reassembly allocation — without a cap, one forged
+	// datagram could demand a multi-GiB buffer.
+	maxWireMessage = 1 << 30
 )
 
 // header is the decoded 54-byte data-datagram header. The layout is
@@ -71,6 +85,13 @@ func parseHeader(b []byte) (header, error) {
 		tag:      int(int64(binary.LittleEndian.Uint64(b[38:46]))),
 		totalLen: int(binary.LittleEndian.Uint32(b[46:50])),
 		offset:   int(binary.LittleEndian.Uint32(b[50:54])),
+	}
+	if h.seq == 0 {
+		return header{}, fmt.Errorf("transport: data datagram with sequence number 0 (flows start at 1)")
+	}
+	if h.totalLen > maxWireMessage {
+		return header{}, fmt.Errorf("transport: claimed message length %d exceeds cap %d",
+			h.totalLen, maxWireMessage)
 	}
 	frag := len(b) - dataHeaderLen
 	if h.totalLen < 0 || h.offset < 0 || h.offset+frag > h.totalLen {

@@ -52,10 +52,10 @@
 //
 // A flow is the ordered packet stream between two socket addresses.
 // Senders keep every packet until it is cumulatively acknowledged and
-// retransmit unacknowledged packets on a timeout (UDPConfig.
-// RetransmitEvery); receivers deliver strictly in sequence order,
-// buffer out-of-order packets, drop duplicates, and acknowledge every
-// data datagram with their cumulative position. Loss, duplication and
+// retransmit unacknowledged packets on a timeout; receivers deliver
+// strictly in sequence order, buffer out-of-order packets, drop
+// duplicates, and acknowledge with their cumulative position (possibly
+// coalesced — see Adaptive behavior). Loss, duplication and
 // reordering (see Faulty) therefore cost latency, never correctness:
 // delivery to the Handler is exactly-once and in flow order. Packets
 // are retained and retransmitted without bound — abandoning a flow is
@@ -63,7 +63,47 @@
 // transport's. Close lingers (bounded) until every retained packet is
 // acknowledged, because an Eager send completes at the engine level
 // when it is enqueued: a process exiting right after its last send
-// must not strand a message a peer is still blocked on.
+// must not strand a message a peer is still blocked on. The drain bound
+// scales with the live retransmit timeout — max(5s, 64·RTO) — so a
+// backoff-inflated RTO still leaves the final ACK exchange several
+// retransmit opportunities.
+//
+// # Adaptive behavior
+//
+// The UDP backend adapts three mechanisms per flow; each has a config
+// escape hatch that pins the pre-adaptive behavior (the "udp-base"
+// spelling pins all of them, as the benchmark baseline).
+//
+// Retransmit timeout: ACK round trips of never-retransmitted packets
+// (Karn's rule) feed a Jacobson/Karels estimator — SRTT and RTTVAR with
+// gains 1/8 and 1/4 — and the flow retransmits after RTO = SRTT +
+// 4·RTTVAR, clamped to [200µs, 1s]. A packet that times out repeatedly
+// backs off exponentially (RTO·2^n, capped). UDPConfig.RetransmitEvery
+// pins a fixed timeout and disables estimation and backoff — the
+// deterministic escape hatch for Faulty-based tests.
+//
+// Congestion window: the send window starts at 32 packets in slow start
+// (+1 per acked packet), crosses into AIMD additive growth at the
+// slow-start threshold, and on a retransmit timeout halves both cwnd
+// and the threshold — at most once per outstanding window — flooring at
+// 2 packets and capping at 256. Packets beyond the window queue
+// unwritten and flush as ACKs reopen it. UDPConfig.FixedWindow pins a
+// fixed window with no congestion response.
+//
+// ACK coalescing: in-order data datagrams defer their cumulative ACK
+// until either UDPConfig.AckEvery of them accumulate (default 8) or a
+// flush timer of ~RTO/4 of the reverse flow (clamped to [100µs, 5ms])
+// expires; duplicates and out-of-order arrivals are acknowledged
+// immediately, since the sender is evidently retransmitting or filling
+// a hole. AckEvery=1 restores ack-per-datagram.
+//
+// Batched I/O: on Linux, multi-packet flushes go through sendmmsg and
+// the receive loop drains the socket with recvmmsg — one syscall per
+// batch instead of per datagram. The batch path engages only when the
+// transport owns a raw *net.UDPConn; wrapped sockets (Faulty), other
+// platforms, or a runtime refusal (ENOSYS) fall back to per-datagram
+// WriteTo/ReadFrom with identical wire behavior. UDPConfig.NoBatch
+// forces the fallback.
 package transport
 
 import (
@@ -77,6 +117,10 @@ import (
 const (
 	ChanName = "chan"
 	UDPName  = "udp"
+	// UDPBaseName selects the UDP backend with every adaptive mechanism
+	// pinned to its pre-adaptive fixed behavior (see SelfUDPBase) — the
+	// comparison baseline for wire benchmarks, not a deployment choice.
+	UDPBaseName = "udp-base"
 )
 
 // Kind classifies an engine-level message on the wire.
@@ -186,16 +230,19 @@ func (Chan) Close() error { return nil }
 // New builds a transport from its CLI spelling: "chan" (or empty) for
 // the in-process default, "udp" for a loopback self-loop UDP transport
 // hosting all np ranks in this process with every message routed
-// through a real socket (see SelfUDP). Multi-process UDP topologies
-// need the explicit UDPConfig constructor — they cannot be described by
-// a name alone.
+// through a real socket (see SelfUDP), "udp-base" for the same wiring
+// with the adaptive wire path pinned off (see SelfUDPBase). Multi-
+// process UDP topologies need the explicit UDPConfig constructor — they
+// cannot be described by a name alone.
 func New(spec string, np int) (Transport, error) {
 	switch spec {
 	case "", ChanName:
 		return Chan{}, nil
 	case UDPName:
 		return SelfUDP(np)
+	case UDPBaseName:
+		return SelfUDPBase(np)
 	default:
-		return nil, fmt.Errorf("transport: unknown transport %q (%s|%s)", spec, ChanName, UDPName)
+		return nil, fmt.Errorf("transport: unknown transport %q (%s|%s|%s)", spec, ChanName, UDPName, UDPBaseName)
 	}
 }

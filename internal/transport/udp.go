@@ -13,26 +13,52 @@ import (
 )
 
 const (
-	// defaultRTO is the retransmit timeout when UDPConfig leaves it zero.
-	// Loopback RTTs are microseconds; 20ms keeps spurious retransmits
-	// rare while bounding the latency cost of a lost datagram.
-	defaultRTO = 20 * time.Millisecond
-	// sendWindow caps in-flight data datagrams per flow (2MiB at the max
-	// datagram size). Packets beyond the window stay queued unwritten
-	// until acknowledgements advance the base — Send itself never blocks,
-	// so the receive loop can safely enqueue replies.
-	sendWindow = 256
+	// initialRTO seeds the adaptive retransmit timeout before the first
+	// RTT sample arrives (and is the fixed default when adaptation is
+	// disabled via RetransmitEvery). Loopback RTTs are microseconds; the
+	// first ACK round-trip collapses the estimate to scale.
+	initialRTO = 20 * time.Millisecond
+	// minRTO / maxRTO clamp the adaptive estimate RTO = SRTT + 4·RTTVAR.
+	// The floor keeps microsecond loopback variance from degenerating
+	// into a zero timeout; the ceiling bounds recovery latency on a
+	// congested or lossy path.
+	minRTO = 200 * time.Microsecond
+	maxRTO = time.Second
+	// maxBackoff caps the per-packet exponential backoff shift: a packet
+	// that keeps timing out waits rto<<backoff between retransmissions,
+	// at most rto<<maxBackoff (further bounded by maxBackoffRTO).
+	maxBackoff = 6
+	// maxBackoffRTO bounds the backoff-inflated per-packet timeout so a
+	// stalled peer is still probed a few times per drain window.
+	maxBackoffRTO = 2 * time.Second
+	// maxCwnd caps the congestion window, and is the send window when
+	// congestion control is disabled (FixedWindow's default). 256
+	// packets is 2MiB of in-flight data at the max datagram size.
+	maxCwnd = 256
+	// minCwnd is the congestion-window floor under sustained loss.
+	minCwnd = 2
+	// initialCwnd is where slow start begins for a fresh flow.
+	initialCwnd = 32
+	// defaultAckEvery is the delayed-ack coalescing threshold: a
+	// cumulative ACK is forced after this many unacknowledged in-order
+	// data datagrams (AckEvery overrides; 1 restores ack-per-datagram).
+	defaultAckEvery = 8
+	// minAckDelay / maxAckDelay clamp the delayed-ack flush timer, which
+	// tracks ~RTO/4 of the reverse flow's estimate.
+	minAckDelay = 100 * time.Microsecond
+	maxAckDelay = 5 * time.Millisecond
 	// socketBuf is the kernel send/recv buffer size requested for
-	// sockets the transport owns; large enough to absorb a full send
-	// window without loopback drops.
-	socketBuf = 1 << 22
-	// drainTimeout bounds Close's linger: an eager send completes at the
-	// engine level the moment it is enqueued, so teardown must give
-	// unacknowledged packets their retransmit chances instead of
-	// stranding them — a process that exits right after its last send
-	// would otherwise lose messages peers are still blocked on. The
-	// bound keeps Close from hanging on a dead peer.
-	drainTimeout = 5 * time.Second
+	// sockets the transport owns; sized for a full 256-packet window of
+	// maximum datagrams (the kernel clamps to its rmem/wmem ceilings,
+	// and retransmit covers whatever still drops).
+	socketBuf = 1 << 23
+	// minDrain is the floor of Close's linger bound. The effective bound
+	// scales with the live retransmit timeout — max(minDrain,
+	// drainRTOs·RTO) — so a backoff-inflated RTO still leaves the final
+	// ACK exchange several retransmit opportunities, while a dead peer
+	// cannot hang Close forever.
+	minDrain  = 5 * time.Second
+	drainRTOs = 64
 )
 
 // UDPConfig describes a UDP transport endpoint.
@@ -57,20 +83,45 @@ type UDPConfig struct {
 	// socket. Single-process benchmarks use this to exercise the real
 	// datagram path without spawning processes.
 	ForceWire bool
-	// RetransmitEvery overrides the retransmit timeout (default 20ms).
+	// RetransmitEvery pins a fixed retransmit timeout and disables the
+	// adaptive RTT estimator and per-packet backoff — the escape hatch
+	// that keeps Faulty-based tests deterministic. Zero selects the
+	// adaptive path (Jacobson/Karels SRTT/RTTVAR from ACK round-trips).
 	RetransmitEvery time.Duration
+	// AckEvery overrides the delayed-ack coalescing threshold (default
+	// 8). 1 acknowledges every data datagram — the pre-adaptive wire
+	// behavior, kept as a benchmark baseline.
+	AckEvery int
+	// FixedWindow pins the send window to a packet count and disables
+	// slow-start/AIMD congestion control. Zero selects the adaptive
+	// congestion window.
+	FixedWindow int
+	// NoBatch disables sendmmsg/recvmmsg datagram batching even when
+	// the socket supports it, forcing the WriteTo/ReadFrom fallback.
+	NoBatch bool
+	// PacketBytes caps outbound datagram size, header included. Zero
+	// selects maxDatagram (32KiB — right for loopback and jumbo-frame
+	// paths); paths with a 1500-byte MTU should set a value that dodges
+	// IP fragmentation. Clamped to [dataHeaderLen+1, maxDatagram];
+	// receivers accept up to maxDatagram regardless.
+	PacketBytes int
 }
 
 // UDP is the datagram transport backend: reliable, in-order message
 // delivery over unreliable packets, per the package-level framing and
 // retransmit contract. One UDP value serves every world booted on it.
 type UDP struct {
-	np     int
-	hosted []bool
-	force  bool
-	conn   net.PacketConn
-	rto    time.Duration
-	peers  []net.Addr
+	np       int
+	hosted   []bool
+	force    bool
+	conn     net.PacketConn
+	rto      time.Duration // initial (or fixed) retransmit timeout
+	fixedRTO bool          // RetransmitEvery pinned: no adaptation, no backoff
+	ackEvery int
+	fixedWin int // >0: fixed send window, congestion control off
+	payload  int // max fragment payload per datagram
+	bio      *batchIO
+	peers    []net.Addr
 
 	hmu     sync.RWMutex
 	handler Handler
@@ -86,7 +137,8 @@ type UDP struct {
 	met atomic.Pointer[metrics.Metrics]
 }
 
-// sendFlow is the sender half of one address pair's packet stream.
+// sendFlow is the sender half of one address pair's packet stream,
+// including its adaptive retransmit and congestion state.
 type sendFlow struct {
 	addr net.Addr
 
@@ -94,25 +146,55 @@ type sendFlow struct {
 	nextSeq uint64 // next sequence number to assign (first packet is 1)
 	base    uint64 // lowest unacknowledged sequence number
 	pending map[uint64]*pendingPkt
+
+	// Adaptive RTO state (Jacobson/Karels; frozen when fixedRTO).
+	srtt   time.Duration
+	rttvar time.Duration
+	rto    time.Duration
+
+	// Congestion state (slow start + AIMD; frozen when fixedWin > 0).
+	cwnd     float64
+	ssthresh float64
+	recover  uint64 // loss-event fence: halve at most once per window
+
+	// rtoNanos mirrors rto for lock-free reads by the reverse recvFlow
+	// (delayed-ack timing) and the retransmit ticker.
+	rtoNanos atomic.Int64
+
+	wlist []*pendingPkt // flush scratch, guarded by mu
+	wbufs [][]byte      // batch-write scratch, guarded by mu
 }
 
 // pendingPkt is a framed datagram retained until cumulatively acked.
 // A zero sent time marks a packet queued beyond the send window and
 // not yet written.
 type pendingPkt struct {
-	buf  *bufpool.Buf
-	n    int
-	sent time.Time
+	buf     *bufpool.Buf
+	n       int
+	sent    time.Time
+	retx    bool  // retransmitted at least once: no RTT sample (Karn)
+	backoff uint8 // exponential-backoff shift applied to the next timeout
 }
 
 // recvFlow is the receiver half: in-order delivery position, held
-// out-of-order datagrams, and the current message reassembly buffer.
+// out-of-order datagrams, the current message reassembly buffer, and
+// the delayed-ack state.
 type recvFlow struct {
+	addr net.Addr
+	// peer is the reverse sendFlow, for RTO-derived ack delay. Atomic
+	// because it is bound under t.mu but read under only f.mu (taking
+	// both would invert the handler→Send lock order). Nil until the
+	// first outbound packet to this address.
+	peer atomic.Pointer[sendFlow]
+
 	mu      sync.Mutex
 	nextSeq uint64
 	ooo     map[uint64]*bufpool.Buf
 	asm     *bufpool.Buf
 	asmGot  int
+
+	unacked int       // in-order data datagrams since the last ack sent
+	ackDue  time.Time // deadline for the delayed cumulative ack; zero when none pending
 }
 
 // NewUDP builds a UDP transport from cfg. The transport is idle until
@@ -140,18 +222,33 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 	}
 	rto := cfg.RetransmitEvery
 	if rto <= 0 {
-		rto = defaultRTO
+		rto = initialRTO
+	}
+	ackEvery := cfg.AckEvery
+	if ackEvery <= 0 {
+		ackEvery = defaultAckEvery
+	}
+	pkt := cfg.PacketBytes
+	if pkt <= dataHeaderLen || pkt > maxDatagram {
+		pkt = maxDatagram
 	}
 	t := &UDP{
-		np:     cfg.NP,
-		force:  cfg.ForceWire,
-		conn:   conn,
-		rto:    rto,
-		hosted: make([]bool, cfg.NP),
-		peers:  make([]net.Addr, cfg.NP),
-		sflows: make(map[string]*sendFlow),
-		rflows: make(map[string]*recvFlow),
-		done:   make(chan struct{}),
+		np:       cfg.NP,
+		force:    cfg.ForceWire,
+		conn:     conn,
+		rto:      rto,
+		fixedRTO: cfg.RetransmitEvery > 0,
+		ackEvery: ackEvery,
+		fixedWin: cfg.FixedWindow,
+		payload:  pkt - dataHeaderLen,
+		hosted:   make([]bool, cfg.NP),
+		peers:    make([]net.Addr, cfg.NP),
+		sflows:   make(map[string]*sendFlow),
+		rflows:   make(map[string]*recvFlow),
+		done:     make(chan struct{}),
+	}
+	if !cfg.NoBatch {
+		t.bio = newBatchIO(conn)
 	}
 	if cfg.Hosted == nil {
 		for r := range t.hosted {
@@ -203,6 +300,23 @@ func SelfUDP(np int) (*UDP, error) {
 	return NewUDP(UDPConfig{NP: np, ForceWire: true})
 }
 
+// SelfUDPBase builds SelfUDP with the pre-adaptive wire behavior: fixed
+// 20ms retransmit timeout, fixed 256-packet send window, one ACK per
+// data datagram, 8KiB datagrams, and one WriteTo/ReadFrom syscall per
+// datagram. It is the comparison baseline for the adaptive path
+// (BenchmarkWireThroughput and the "udp-base" CLI spelling), not a
+// deployment configuration.
+func SelfUDPBase(np int) (*UDP, error) {
+	return NewUDP(UDPConfig{
+		NP: np, ForceWire: true,
+		RetransmitEvery: initialRTO,
+		FixedWindow:     maxCwnd,
+		AckEvery:        1,
+		NoBatch:         true,
+		PacketBytes:     basePacket,
+	})
+}
+
 // Name implements Transport.
 func (t *UDP) Name() string { return UDPName }
 
@@ -235,6 +349,12 @@ func (t *UDP) count(c metrics.Counter, v int64) {
 	}
 }
 
+func (t *UDP) gauge(c metrics.Counter, v int64) {
+	if m := t.met.Load(); m != nil {
+		m.Max(0, c, v)
+	}
+}
+
 // Start implements Transport: installs h and launches the receive and
 // retransmit loops (once; a later Start only replaces the handler).
 func (t *UDP) Start(h Handler) error {
@@ -250,14 +370,114 @@ func (t *UDP) Start(h Handler) error {
 		t.started = true
 		t.wg.Add(2)
 		go t.recvLoop()
-		go t.retransmitLoop()
+		go t.tickLoop()
 	}
 	return nil
 }
 
+// window is the flow's current send window in packets. Callers hold
+// f.mu.
+func (f *sendFlow) window(fixedWin int) uint64 {
+	if fixedWin > 0 {
+		return uint64(fixedWin)
+	}
+	w := uint64(f.cwnd)
+	if w < minCwnd {
+		w = minCwnd
+	}
+	return w
+}
+
+// observeRTT folds one ACK round-trip sample into the Jacobson/Karels
+// estimator and refreshes RTO = SRTT + 4·RTTVAR within [minRTO, maxRTO].
+// Callers hold f.mu and have already excluded retransmitted packets
+// (Karn's rule).
+func (f *sendFlow) observeRTT(sample time.Duration) {
+	if sample <= 0 {
+		sample = time.Microsecond
+	}
+	if f.srtt == 0 {
+		f.srtt = sample
+		f.rttvar = sample / 2
+	} else {
+		d := f.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		f.rttvar = (3*f.rttvar + d) / 4
+		f.srtt = (7*f.srtt + sample) / 8
+	}
+	rto := f.srtt + 4*f.rttvar
+	if rto < minRTO {
+		rto = minRTO
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	f.rto = rto
+	f.rtoNanos.Store(int64(rto))
+}
+
+// ccOnAck grows the congestion window for acked packets: +1 per packet
+// in slow start up to ssthresh, then +acked/cwnd (AIMD additive phase),
+// capped at maxCwnd. Callers hold f.mu.
+func (f *sendFlow) ccOnAck(acked int) {
+	if acked <= 0 {
+		return
+	}
+	a := float64(acked)
+	if f.cwnd < f.ssthresh {
+		f.cwnd += a
+		if f.cwnd > f.ssthresh {
+			f.cwnd = f.ssthresh
+		}
+	} else {
+		f.cwnd += a / f.cwnd
+	}
+	if f.cwnd > maxCwnd {
+		f.cwnd = maxCwnd
+	}
+}
+
+// ccOnTimeout registers a retransmit-timeout loss event: at most once
+// per outstanding window (the recover fence), ssthresh and cwnd halve,
+// flooring at minCwnd. It reports whether this timeout started a new
+// loss event. Callers hold f.mu.
+func (f *sendFlow) ccOnTimeout() bool {
+	if f.base < f.recover {
+		return false // still recovering from the previous halving
+	}
+	f.recover = f.nextSeq
+	half := f.cwnd / 2
+	if half < minCwnd {
+		half = minCwnd
+	}
+	f.ssthresh = half
+	f.cwnd = half
+	return true
+}
+
+// noteCC publishes the flow's congestion and RTT state to the metrics
+// gauges. Callers hold f.mu.
+func (t *UDP) noteCC(f *sendFlow) {
+	if t.met.Load() == nil {
+		return
+	}
+	if t.fixedWin == 0 {
+		w := int64(f.cwnd)
+		t.gauge(metrics.WireCwndHighWater, w)
+		t.gauge(metrics.WireCwndLowWaterInv, metrics.CwndLowWaterBase-w)
+	}
+	if !t.fixedRTO {
+		t.gauge(metrics.WireSRTTMaxMicros, f.srtt.Microseconds())
+		t.gauge(metrics.WireRTOMaxMicros, f.rto.Microseconds())
+	}
+}
+
 // Send implements Transport: frames m into sequenced fragments on the
-// destination's flow and writes those inside the send window. It copies
-// m.Data before returning and never blocks on the receive path.
+// destination's flow, then flushes every fragment the congestion window
+// admits in one batched write. It copies m.Data before returning and
+// never blocks on the receive path.
 func (t *UDP) Send(m Message) error {
 	if m.Dst < 0 || m.Dst >= t.np {
 		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", m.Dst, t.np)
@@ -271,10 +491,12 @@ func (t *UDP) Send(m Message) error {
 	defer f.mu.Unlock()
 	total := len(m.Data)
 	off := 0
+	win := f.window(t.fixedWin)
+	f.wlist = f.wlist[:0]
 	for {
 		frag := total - off
-		if frag > maxPayload {
-			frag = maxPayload
+		if frag > t.payload {
+			frag = t.payload
 		}
 		seq := f.nextSeq
 		f.nextSeq++
@@ -288,19 +510,59 @@ func (t *UDP) Send(m Message) error {
 		copy(pb.B[dataHeaderLen:n], m.Data[off:off+frag])
 		p := &pendingPkt{buf: pb, n: n}
 		f.pending[seq] = p
-		if seq < f.base+sendWindow {
-			t.writePkt(f, p)
+		if seq < f.base+win {
+			f.wlist = append(f.wlist, p)
 		}
 		off += frag
 		if off >= total {
-			return nil
+			break
 		}
+	}
+	t.flushPkts(f, f.wlist)
+	return nil
+}
+
+// flushPkts writes the given pending packets to f's peer — one batched
+// sendmmsg when the socket supports it, WriteTo per packet otherwise —
+// and stamps them for the retransmit clock. Write errors are ignored: a
+// failed datagram is indistinguishable from a lost one, and retransmit
+// covers both. Callers hold f.mu.
+func (t *UDP) flushPkts(f *sendFlow, pkts []*pendingPkt) {
+	if len(pkts) == 0 {
+		return
+	}
+	if t.bio != nil && len(pkts) > 1 {
+		f.wbufs = f.wbufs[:0]
+		for _, p := range pkts {
+			f.wbufs = append(f.wbufs, p.buf.B[:p.n])
+		}
+		if sent, calls, ok := t.bio.writeBatch(f.wbufs, f.addr); ok {
+			now := time.Now()
+			var bytes int64
+			for _, p := range pkts[:sent] {
+				p.sent = now
+				bytes += int64(p.n)
+			}
+			if sent > 0 {
+				t.count(metrics.WireDatagramsSent, int64(sent))
+				t.count(metrics.WireBytesSent, bytes)
+				t.count(metrics.WireBatchedWrites, int64(calls))
+			}
+			// Packets the kernel did not take are stamped too: the
+			// retransmit clock re-offers them after the flow's RTO.
+			for _, p := range pkts[sent:] {
+				p.sent = now
+			}
+			return
+		}
+	}
+	for _, p := range pkts {
+		t.writePkt(f, p)
 	}
 }
 
 // writePkt writes p to f's peer and stamps it for the retransmit clock.
-// Write errors are ignored: a dropped datagram is indistinguishable
-// from a lost one, and retransmit covers both. Callers hold f.mu.
+// Callers hold f.mu.
 func (t *UDP) writePkt(f *sendFlow, p *pendingPkt) {
 	if _, err := t.conn.WriteTo(p.buf.B[:p.n], f.addr); err == nil {
 		t.count(metrics.WireDatagramsSent, 1)
@@ -309,9 +571,10 @@ func (t *UDP) writePkt(f *sendFlow, p *pendingPkt) {
 	p.sent = time.Now()
 }
 
-// Close implements Transport: drains unacknowledged packets (bounded
-// by drainTimeout), stops the loops, closes the socket, and releases
-// every retained wire buffer.
+// Close implements Transport: drains unacknowledged packets — bounded
+// by max(minDrain, drainRTOs·RTO) so a backoff-inflated timeout still
+// gets its retransmit chances — then stops the loops, closes the
+// socket, and releases every retained wire buffer.
 func (t *UDP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -323,10 +586,12 @@ func (t *UDP) Close() error {
 	t.mu.Unlock()
 	if started {
 		// The loops are still running here, so retransmits keep flowing
-		// and inbound acks keep retiring packets while we wait.
-		deadline := time.Now().Add(drainTimeout)
-		for t.hasPending() && time.Now().Before(deadline) {
-			time.Sleep(t.rto / 4)
+		// and inbound acks keep retiring packets while we wait. The bound
+		// is re-evaluated each pass: backoff can inflate the live RTO
+		// mid-drain.
+		start := time.Now()
+		for t.hasPending() && time.Since(start) < t.drainBound() {
+			time.Sleep(time.Millisecond)
 		}
 	}
 	close(t.done)
@@ -359,16 +624,43 @@ func (t *UDP) Close() error {
 	return err
 }
 
+// drainBound is Close's linger ceiling: max(minDrain, drainRTOs times
+// the largest live per-packet retransmit timeout, backoff included).
+func (t *UDP) drainBound() time.Duration {
+	worst := t.rto
+	for _, f := range t.snapshotSendFlows() {
+		f.mu.Lock()
+		rto := f.rto
+		for _, p := range f.pending {
+			if eff := backoffRTO(rto, p.backoff); eff > worst {
+				worst = eff
+			}
+		}
+		if rto > worst {
+			worst = rto
+		}
+		f.mu.Unlock()
+	}
+	if b := time.Duration(drainRTOs) * worst; b > minDrain {
+		return b
+	}
+	return minDrain
+}
+
+// backoffRTO is the effective timeout of a packet that has already
+// timed out `shift` times: rto<<shift, bounded by maxBackoffRTO.
+func backoffRTO(rto time.Duration, shift uint8) time.Duration {
+	eff := rto << shift
+	if eff > maxBackoffRTO || eff < rto { // overflow-safe
+		return maxBackoffRTO
+	}
+	return eff
+}
+
 // hasPending reports whether any flow still holds unacknowledged
 // packets.
 func (t *UDP) hasPending() bool {
-	t.mu.Lock()
-	flows := make([]*sendFlow, 0, len(t.sflows))
-	for _, f := range t.sflows {
-		flows = append(flows, f)
-	}
-	t.mu.Unlock()
-	for _, f := range flows {
+	for _, f := range t.snapshotSendFlows() {
 		f.mu.Lock()
 		n := len(f.pending)
 		f.mu.Unlock()
@@ -379,14 +671,47 @@ func (t *UDP) hasPending() bool {
 	return false
 }
 
+// snapshotSendFlows copies the send-flow list out from under t.mu so
+// per-flow locks are never taken while holding the transport lock.
+func (t *UDP) snapshotSendFlows() []*sendFlow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	flows := make([]*sendFlow, 0, len(t.sflows))
+	for _, f := range t.sflows {
+		flows = append(flows, f)
+	}
+	return flows
+}
+
+func (t *UDP) snapshotRecvFlows() []*recvFlow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	flows := make([]*recvFlow, 0, len(t.rflows))
+	for _, f := range t.rflows {
+		flows = append(flows, f)
+	}
+	return flows
+}
+
 func (t *UDP) sendFlowFor(addr net.Addr) *sendFlow {
 	key := addr.String()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	f := t.sflows[key]
 	if f == nil {
-		f = &sendFlow{addr: addr, nextSeq: 1, base: 1, pending: make(map[uint64]*pendingPkt)}
+		f = &sendFlow{
+			addr: addr, nextSeq: 1, base: 1,
+			pending:  make(map[uint64]*pendingPkt),
+			rto:      t.rto,
+			cwnd:     initialCwnd,
+			ssthresh: maxCwnd,
+		}
+		f.rtoNanos.Store(int64(t.rto))
 		t.sflows[key] = f
+		// Bind the reverse recv flow's delayed-ack clock to this flow.
+		if rf := t.rflows[key]; rf != nil {
+			rf.peer.CompareAndSwap(nil, f)
+		}
 	}
 	return f
 }
@@ -397,19 +722,50 @@ func (t *UDP) recvFlowFor(addr net.Addr) *recvFlow {
 	defer t.mu.Unlock()
 	f := t.rflows[key]
 	if f == nil {
-		f = &recvFlow{nextSeq: 1, ooo: make(map[uint64]*bufpool.Buf)}
+		f = &recvFlow{addr: addr, nextSeq: 1, ooo: make(map[uint64]*bufpool.Buf)}
+		if sf := t.sflows[key]; sf != nil {
+			f.peer.Store(sf)
+		}
 		t.rflows[key] = f
 	}
 	return f
 }
 
-// recvLoop reads datagrams and dispatches by packet type. Unknown first
-// bytes (e.g. the soak harness's textual bootstrap packets sharing this
-// socket) are dropped.
+// ackDelay is how long f may defer a cumulative ack: ~RTO/4 of the
+// reverse flow's live estimate (the sender whose retransmit clock the
+// deferred ack races), clamped to [minAckDelay, maxAckDelay].
+func (f *recvFlow) ackDelay(fallback time.Duration) time.Duration {
+	rto := fallback
+	if peer := f.peer.Load(); peer != nil {
+		if n := peer.rtoNanos.Load(); n > 0 {
+			rto = time.Duration(n)
+		}
+	}
+	d := rto / 4
+	if d < minAckDelay {
+		d = minAckDelay
+	}
+	if d > maxAckDelay {
+		d = maxAckDelay
+	}
+	return d
+}
+
+// recvLoop reads datagrams — recvmmsg batches when the socket supports
+// them, single ReadFrom calls otherwise — and dispatches by packet
+// type. Unknown first bytes (e.g. the soak harness's textual bootstrap
+// packets sharing this socket) are dropped.
 func (t *UDP) recvLoop() {
 	defer t.wg.Done()
-	buf := make([]byte, maxDatagram)
 	var ackBuf [ackLen]byte
+	if t.bio != nil {
+		if done := t.recvBatchLoop(ackBuf[:]); done {
+			return
+		}
+		// recvmmsg unavailable or broken at runtime: fall back to the
+		// single-datagram path below.
+	}
+	buf := make([]byte, maxDatagram)
 	for {
 		n, addr, err := t.conn.ReadFrom(buf)
 		if err != nil {
@@ -423,28 +779,68 @@ func (t *UDP) recvLoop() {
 			}
 			continue
 		}
-		if n < 1 {
+		t.dispatch(buf[:n], addr, ackBuf[:])
+	}
+}
+
+// recvBatchLoop drains the socket with recvmmsg, dispatching every
+// datagram of each batch. It returns true when the transport is done
+// (socket closed), false to fall back to the single-datagram path.
+func (t *UDP) recvBatchLoop(ackBuf []byte) bool {
+	pkts := make([]batchPkt, batchSize)
+	for {
+		n, err := t.bio.readBatch(pkts)
+		if err != nil {
+			select {
+			case <-t.done:
+				return true
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return true
+			}
+			if errors.Is(err, errBatchUnsupported) {
+				return false
+			}
 			continue
 		}
-		switch buf[0] {
-		case ptAck:
-			ack, err := parseAck(buf[:n])
-			if err != nil {
-				continue
+		if n > 0 {
+			t.count(metrics.WireBatchedReads, 1)
+		}
+		for i := 0; i < n; i++ {
+			if pkts[i].addr == nil {
+				continue // undecodable source sockaddr
 			}
-			t.count(metrics.WireDatagramsRecv, 1)
-			t.count(metrics.WireBytesRecv, int64(n))
-			t.handleAck(addr, ack)
-		case ptData:
-			t.count(metrics.WireDatagramsRecv, 1)
-			t.count(metrics.WireBytesRecv, int64(n))
-			t.handleData(addr, buf[:n], ackBuf[:])
+			t.dispatch(pkts[i].b, pkts[i].addr, ackBuf)
 		}
 	}
 }
 
-// handleAck retires cumulatively acknowledged packets and writes any
-// queued packets the advanced window now admits.
+// dispatch routes one received datagram by its first byte.
+func (t *UDP) dispatch(pkt []byte, addr net.Addr, ackBuf []byte) {
+	if len(pkt) < 1 {
+		return
+	}
+	switch pkt[0] {
+	case ptAck:
+		ack, err := parseAck(pkt)
+		if err != nil {
+			return
+		}
+		t.count(metrics.WireDatagramsRecv, 1)
+		t.count(metrics.WireBytesRecv, int64(len(pkt)))
+		t.handleAck(addr, ack)
+	case ptData:
+		t.count(metrics.WireDatagramsRecv, 1)
+		t.count(metrics.WireBytesRecv, int64(len(pkt)))
+		t.handleData(addr, pkt, ackBuf)
+	}
+}
+
+// handleAck retires cumulatively acknowledged packets, samples the RTT
+// from a clean (never-retransmitted) round trip, grows the congestion
+// window, and flushes any queued packets the advanced window now
+// admits.
 func (t *UDP) handleAck(addr net.Addr, ack uint64) {
 	f := t.sendFlowFor(addr)
 	f.mu.Lock()
@@ -452,30 +848,49 @@ func (t *UDP) handleAck(addr net.Addr, ack uint64) {
 	if ack >= f.nextSeq {
 		ack = f.nextSeq - 1
 	}
-	retired := false
+	retired := 0
+	var sampleFrom time.Time
 	for seq := f.base; seq <= ack; seq++ {
 		if p, ok := f.pending[seq]; ok {
+			if !p.retx && !p.sent.IsZero() && p.sent.After(sampleFrom) {
+				sampleFrom = p.sent
+			}
 			p.buf.Release()
 			delete(f.pending, seq)
-			retired = true
+			retired++
 		}
+	}
+	if retired > 0 {
+		if !t.fixedRTO && !sampleFrom.IsZero() {
+			f.observeRTT(time.Since(sampleFrom))
+		}
+		if t.fixedWin == 0 {
+			f.ccOnAck(retired)
+		}
+		t.noteCC(f)
 	}
 	if ack+1 > f.base {
 		f.base = ack + 1
-		for seq := f.base; seq < f.base+sendWindow && seq < f.nextSeq; seq++ {
+		win := f.window(t.fixedWin)
+		f.wlist = f.wlist[:0]
+		for seq := f.base; seq < f.base+win && seq < f.nextSeq; seq++ {
 			if p, ok := f.pending[seq]; ok && p.sent.IsZero() {
-				t.writePkt(f, p)
+				f.wlist = append(f.wlist, p)
 			}
 		}
+		t.flushPkts(f, f.wlist)
 	}
-	if retired {
+	if retired > 0 {
 		t.count(metrics.WireAckRoundTrips, 1)
 	}
 }
 
 // handleData advances the flow's in-order position, holding early
-// packets and re-acking duplicates, then acknowledges the cumulative
-// position so the sender can retire and refill its window.
+// packets and re-acking duplicates. In-order arrivals coalesce their
+// cumulative ack — one ack per ackEvery data datagrams, or a delayed
+// flush from the tick loop — while duplicates and out-of-order
+// arrivals ack immediately (the sender may be timing out or filling a
+// hole).
 func (t *UDP) handleData(addr net.Addr, pkt, ackBuf []byte) {
 	h, err := parseHeader(pkt)
 	if err != nil {
@@ -483,10 +898,14 @@ func (t *UDP) handleData(addr net.Addr, pkt, ackBuf []byte) {
 	}
 	f := t.recvFlowFor(addr)
 	f.mu.Lock()
+	ackNow := true
 	switch {
 	case h.seq < f.nextSeq:
-		// Duplicate (our earlier ack was lost): drop, re-ack below.
+		// Duplicate (our earlier ack was lost, or a retransmit raced the
+		// delayed ack): re-ack immediately below.
 	case h.seq > f.nextSeq:
+		// Out of order: hold, and ack our position immediately so the
+		// sender sees the hole.
 		if _, held := f.ooo[h.seq]; !held {
 			cp := bufpool.Get(len(pkt))
 			copy(cp.B, pkt)
@@ -495,6 +914,7 @@ func (t *UDP) handleData(addr net.Addr, pkt, ackBuf []byte) {
 	default:
 		t.deliverInOrder(f, h, pkt[dataHeaderLen:])
 		f.nextSeq++
+		f.unacked++
 		for {
 			cp, held := f.ooo[f.nextSeq]
 			if !held {
@@ -506,14 +926,36 @@ func (t *UDP) handleData(addr net.Addr, pkt, ackBuf []byte) {
 			}
 			cp.Release()
 			f.nextSeq++
+			f.unacked++
+		}
+		if f.unacked < t.ackEvery {
+			// Coalesce: defer the cumulative ack to the flush timer.
+			ackNow = false
+			if f.ackDue.IsZero() {
+				f.ackDue = time.Now().Add(f.ackDelay(t.rto))
+			}
+			t.count(metrics.WireAcksCoalesced, 1)
 		}
 	}
-	ack := f.nextSeq - 1
+	var ack uint64
+	if ackNow {
+		ack = f.nextSeq - 1
+		f.unacked = 0
+		f.ackDue = time.Time{}
+	}
 	f.mu.Unlock()
+	if ackNow {
+		t.sendAck(addr, ack, ackBuf)
+	}
+}
+
+// sendAck writes one cumulative-ack datagram.
+func (t *UDP) sendAck(addr net.Addr, ack uint64, ackBuf []byte) {
 	putAck(ackBuf, ack)
 	if _, err := t.conn.WriteTo(ackBuf[:ackLen], addr); err == nil {
 		t.count(metrics.WireDatagramsSent, 1)
 		t.count(metrics.WireBytesSent, ackLen)
+		t.count(metrics.WireAcksSent, 1)
 	}
 }
 
@@ -553,41 +995,115 @@ func (t *UDP) deliverInOrder(f *recvFlow, h header, frag []byte) {
 	})
 }
 
-// retransmitLoop rewrites written-but-unacked packets older than the
-// retransmit timeout, scanning at half the timeout for resolution.
-func (t *UDP) retransmitLoop() {
+// tickLoop is the transport's clock: it retransmits written-but-unacked
+// packets past their (backoff-inflated) timeout, writes queued packets
+// the window admits, and flushes overdue delayed acks. The tick
+// interval tracks the smallest live deadline so a 200µs adaptive RTO
+// gets sub-millisecond resolution while an idle transport sleeps.
+func (t *UDP) tickLoop() {
 	defer t.wg.Done()
-	tick := time.NewTicker(t.rto / 2)
-	defer tick.Stop()
+	timer := time.NewTimer(t.tickInterval())
+	defer timer.Stop()
 	for {
 		select {
 		case <-t.done:
 			return
-		case now := <-tick.C:
-			t.mu.Lock()
-			flows := make([]*sendFlow, 0, len(t.sflows))
-			for _, f := range t.sflows {
-				flows = append(flows, f)
+		case now := <-timer.C:
+			t.retransmitPass(now)
+			t.ackFlushPass(now)
+			timer.Reset(t.tickInterval())
+		}
+	}
+}
+
+// tickInterval picks the next clock granularity: half the smallest live
+// RTO when packets are pending, the shortest ack-flush deadline when
+// acks are deferred, and a coarse idle tick otherwise.
+func (t *UDP) tickInterval() time.Duration {
+	const idle = 10 * time.Millisecond
+	d := idle
+	for _, f := range t.snapshotSendFlows() {
+		f.mu.Lock()
+		if len(f.pending) > 0 {
+			if h := f.rto / 2; h < d {
+				d = h
 			}
-			t.mu.Unlock()
-			for _, f := range flows {
-				f.mu.Lock()
-				for seq := f.base; seq < f.base+sendWindow && seq < f.nextSeq; seq++ {
-					p, ok := f.pending[seq]
-					if !ok {
-						continue
-					}
-					if p.sent.IsZero() {
-						t.writePkt(f, p)
-						continue
-					}
-					if now.Sub(p.sent) >= t.rto {
-						t.writePkt(f, p)
-						t.count(metrics.WireRetransmits, 1)
-					}
+		}
+		f.mu.Unlock()
+	}
+	for _, f := range t.snapshotRecvFlows() {
+		f.mu.Lock()
+		if f.unacked > 0 && !f.ackDue.IsZero() {
+			if u := time.Until(f.ackDue); u < d {
+				d = u
+			}
+		}
+		f.mu.Unlock()
+	}
+	if d < minAckDelay {
+		d = minAckDelay
+	}
+	return d
+}
+
+// retransmitPass rewrites timed-out packets (exponential backoff per
+// packet, Karn-marked so their acks never feed the RTT estimator) and
+// registers at most one congestion loss event per pass.
+func (t *UDP) retransmitPass(now time.Time) {
+	for _, f := range t.snapshotSendFlows() {
+		f.mu.Lock()
+		win := f.window(t.fixedWin)
+		f.wlist = f.wlist[:0]
+		timedOut := false
+		retx := 0
+		for seq := f.base; seq < f.base+win && seq < f.nextSeq; seq++ {
+			p, ok := f.pending[seq]
+			if !ok {
+				continue
+			}
+			if p.sent.IsZero() {
+				f.wlist = append(f.wlist, p)
+				continue
+			}
+			if now.Sub(p.sent) >= backoffRTO(f.rto, p.backoff) {
+				p.retx = true
+				if !t.fixedRTO && p.backoff < maxBackoff {
+					p.backoff++
 				}
-				f.mu.Unlock()
+				f.wlist = append(f.wlist, p)
+				retx++
+				timedOut = true
 			}
+		}
+		if timedOut && t.fixedWin == 0 && f.ccOnTimeout() {
+			t.count(metrics.WireCwndHalvings, 1)
+			t.noteCC(f)
+		}
+		t.flushPkts(f, f.wlist)
+		if retx > 0 {
+			t.count(metrics.WireRetransmits, int64(retx))
+		}
+		f.mu.Unlock()
+	}
+}
+
+// ackFlushPass sends the delayed cumulative ack of every recv flow
+// whose flush deadline has passed.
+func (t *UDP) ackFlushPass(now time.Time) {
+	var ackBuf [ackLen]byte
+	for _, f := range t.snapshotRecvFlows() {
+		f.mu.Lock()
+		due := f.unacked > 0 && !f.ackDue.IsZero() && !now.Before(f.ackDue)
+		var ack uint64
+		if due {
+			ack = f.nextSeq - 1
+			f.unacked = 0
+			f.ackDue = time.Time{}
+		}
+		addr := f.addr
+		f.mu.Unlock()
+		if due {
+			t.sendAck(addr, ack, ackBuf[:])
 		}
 	}
 }
